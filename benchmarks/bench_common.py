@@ -1,0 +1,71 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every paper table/figure has one bench module.  The defaults are sized so
+the whole harness completes in a few minutes on a laptop; environment
+variables scale the experiments up towards the paper's setting:
+
+* ``POLARIS_BENCH_SCALE``  — benchmark netlist scale factor (default 0.35).
+* ``POLARIS_BENCH_TRACES`` — TVLA traces per group (default 500; the paper
+  uses 10,000).
+* ``POLARIS_BENCH_DESIGNS`` — comma-separated subset of evaluation designs
+  (default: the full 11-design suite of Table II).
+
+Results (text tables + JSON) are written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core import ModelConfig, PolarisConfig  # noqa: E402
+from repro.netlist import EVALUATION_SUITE  # noqa: E402
+from repro.tvla import TvlaConfig  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("POLARIS_BENCH_SCALE", "0.35"))
+BENCH_TRACES = int(os.environ.get("POLARIS_BENCH_TRACES", "500"))
+_default_designs = ",".join(EVALUATION_SUITE)
+BENCH_DESIGNS = tuple(
+    name.strip()
+    for name in os.environ.get("POLARIS_BENCH_DESIGNS", _default_designs).split(",")
+    if name.strip()
+)
+
+
+def bench_tvla_config(seed: int = 17) -> TvlaConfig:
+    """TVLA configuration shared by all benches."""
+    return TvlaConfig(n_traces=BENCH_TRACES, n_fixed_classes=4, seed=seed)
+
+
+def bench_polaris_config() -> PolarisConfig:
+    """POLARIS configuration used by the benches.
+
+    Follows the paper's L=7 / theta_r=0.7 / AdaBoost choice; ``msize`` and
+    ``iterations`` are reduced from (200, 100) so cognition generation on
+    the scaled-down training designs stays in CI-scale time.
+    """
+    return PolarisConfig(
+        msize=40,
+        locality=7,
+        iterations=8,
+        theta_r=0.70,
+        tvla=bench_tvla_config(seed=11),
+        model=ModelConfig(model_type="adaboost", learning_rate=0.1,
+                          n_estimators=100, max_depth=3),
+        seed=23,
+    )
+
+
+def write_text_result(name: str, content: str) -> Path:
+    """Persist a rendered table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

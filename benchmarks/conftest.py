@@ -1,0 +1,40 @@
+"""Pytest fixtures for the benchmark harness (see bench_common.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import (
+    BENCH_DESIGNS,
+    BENCH_SCALE,
+    RESULTS_DIR,
+    bench_polaris_config,
+)
+
+from repro.core import ExperimentRecorder, train_polaris
+from repro.workloads import WorkloadConfig, evaluation_designs, training_designs
+
+
+@pytest.fixture(scope="session")
+def recorder() -> ExperimentRecorder:
+    fixture_recorder = ExperimentRecorder(RESULTS_DIR)
+    yield fixture_recorder
+    if fixture_recorder.records:
+        fixture_recorder.save("latest.json")
+
+
+@pytest.fixture(scope="session")
+def training_suite():
+    return training_designs(WorkloadConfig(scale=0.5, seed=2025))
+
+
+@pytest.fixture(scope="session")
+def evaluation_suite():
+    return evaluation_designs(WorkloadConfig(scale=BENCH_SCALE, seed=2025,
+                                             designs=BENCH_DESIGNS))
+
+
+@pytest.fixture(scope="session")
+def trained_polaris_bench(training_suite):
+    """POLARIS trained once per benchmark session (AdaBoost model)."""
+    return train_polaris(training_suite, bench_polaris_config())

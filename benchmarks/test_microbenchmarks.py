@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrate primitives.
+
+Unlike the table/figure benches (single-shot experiment reproductions) these
+use pytest-benchmark's normal repeated timing to track the throughput of the
+hot paths: gate-level simulation, per-gate power-trace generation, the TVLA
+assessment (naive two-pass vs one-pass accumulator), structural feature
+extraction, and model inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import StructuralFeatureExtractor
+from repro.netlist import load_benchmark
+from repro.power import PowerTraceGenerator
+from repro.simulation import LogicSimulator, fixed_vs_random_campaigns
+from repro.tvla import OnePassMoments, TvlaConfig, assess_leakage, welch_t_test
+
+from bench_common import BENCH_SCALE
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_benchmark("md5", scale=BENCH_SCALE, seed=3)
+
+
+def test_logic_simulation_throughput(benchmark, design):
+    simulator = LogicSimulator(design)
+    rng = np.random.default_rng(0)
+    stimulus = {net: rng.integers(0, 2, 2000).astype(bool)
+                for net in design.primary_inputs}
+    result = benchmark(simulator.evaluate, stimulus)
+    assert result.n_vectors == 2000
+
+
+def test_power_trace_generation_throughput(benchmark, design):
+    generator = PowerTraceGenerator(design, seed=1)
+    fixed, _ = fixed_vs_random_campaigns(design, 500, seed=1)
+    traces = benchmark(generator.generate, fixed)
+    assert traces.per_gate.shape == (500, len(design))
+
+
+def test_tvla_assessment_throughput(benchmark, design):
+    config = TvlaConfig(n_traces=300, n_fixed_classes=1, seed=2)
+    assessment = benchmark(assess_leakage, design, config)
+    assert len(assessment.gate_names) == len(design)
+
+
+def test_welch_two_pass_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    group0 = rng.normal(size=(2000, 300))
+    group1 = rng.normal(0.1, 1.0, size=(2000, 300))
+    result = benchmark(welch_t_test, group0, group1)
+    assert result.t_statistic.shape == (300,)
+
+
+def test_one_pass_moments_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    samples = rng.normal(size=(2000, 300))
+
+    def accumulate():
+        acc = OnePassMoments(max_order=2, shape=(300,))
+        acc.update_batch(samples)
+        return acc
+
+    acc = benchmark(accumulate)
+    assert acc.count == 2000
+
+
+def test_feature_extraction_throughput(benchmark, design):
+    extractor = StructuralFeatureExtractor(design, locality=7)
+    names, matrix = benchmark(extractor.extract_all, True)
+    assert matrix.shape[0] == len(names)
+
+
+def test_model_inference_throughput(benchmark, trained_polaris_bench, design):
+    extractor = StructuralFeatureExtractor(design, locality=7,
+                                           encoder=trained_polaris_bench.encoder)
+    _, matrix = extractor.extract_all(maskable_only=True)
+    scores = benchmark(trained_polaris_bench.model.positive_score, matrix)
+    assert scores.shape[0] == matrix.shape[0]

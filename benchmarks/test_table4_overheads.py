@@ -1,0 +1,95 @@
+"""Table IV — area / power / delay overheads: VALIANT vs POLARIS (50 % mask).
+
+For every evaluation design, reports the original area (um^2), power (mW)
+and delay (ns), the multipliers of the VALIANT-protected design, and the
+multipliers of the POLARIS-protected design at a 50 % mask, plus the
+percentage reduction POLARIS achieves relative to VALIANT — the layout of
+the paper's Table IV.  The expected shape is that POLARIS's overheads are
+consistently below VALIANT's on all three axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ValiantConfig, valiant_protect
+from repro.core import ExperimentRecord, format_table, protect_design
+from repro.power import analyze_design
+from repro.tvla import assess_leakage
+
+from bench_common import bench_tvla_config, write_text_result
+
+COLUMNS = [
+    "design", "area", "power", "delay",
+    "valiant_area_x", "valiant_power_x", "valiant_delay_x",
+    "polaris_area_x", "polaris_power_x", "polaris_delay_x",
+    "area_saving_pct", "power_saving_pct", "delay_saving_pct",
+]
+
+
+def _saving(valiant_ratio: float, polaris_ratio: float) -> float:
+    if valiant_ratio <= 0:
+        return 0.0
+    return (valiant_ratio - polaris_ratio) / valiant_ratio * 100.0
+
+
+def test_table4_overheads(benchmark, trained_polaris_bench, evaluation_suite,
+                          recorder):
+    tvla = bench_tvla_config()
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for design in evaluation_suite:
+            before = assess_leakage(design, tvla)
+            original = analyze_design(design)
+            polaris = protect_design(design, trained_polaris_bench,
+                                     mask_fraction=0.5, before=before,
+                                     evaluate=False)
+            valiant = valiant_protect(design, ValiantConfig(tvla=tvla))
+            valiant_metrics = analyze_design(valiant.masked_netlist)
+            valiant_ratios = valiant_metrics.ratios_to(original)
+            polaris_ratios = polaris.masked_metrics.ratios_to(original)
+            rows.append({
+                "design": design.name,
+                "area": original.area,
+                "power": original.power,
+                "delay": original.delay,
+                "valiant_area_x": valiant_ratios["area"],
+                "valiant_power_x": valiant_ratios["power"],
+                "valiant_delay_x": valiant_ratios["delay"],
+                "polaris_area_x": polaris_ratios["area"],
+                "polaris_power_x": polaris_ratios["power"],
+                "polaris_delay_x": polaris_ratios["delay"],
+                "area_saving_pct": _saving(valiant_ratios["area"],
+                                           polaris_ratios["area"]),
+                "power_saving_pct": _saving(valiant_ratios["power"],
+                                            polaris_ratios["power"]),
+                "delay_saving_pct": _saving(valiant_ratios["delay"],
+                                            polaris_ratios["delay"]),
+            })
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    averages = {key: float(np.mean([row[key] for row in rows]))
+                for key in COLUMNS if key != "design"}
+    averages["design"] = "Average"
+    table_rows = [[row[col] for col in COLUMNS] for row in rows + [averages]]
+    rendered = format_table(COLUMNS, table_rows)
+    print("\nTable IV reproduction (overheads as multiples of the original design)")
+    print(rendered)
+    write_text_result("table4_overheads", rendered)
+    recorder.record(ExperimentRecord(
+        "table4", "Area/power/delay overheads, VALIANT vs POLARIS (50% mask)",
+        parameters={"designs": [d.name for d in evaluation_suite]},
+        rows=rows + [averages]))
+
+    # Shape: POLARIS's overheads are below VALIANT's on every axis on average,
+    # and all protected designs cost more than the original (>1x).
+    assert averages["polaris_area_x"] > 1.0
+    assert averages["polaris_area_x"] < averages["valiant_area_x"]
+    assert averages["polaris_power_x"] < averages["valiant_power_x"]
+    assert averages["polaris_delay_x"] < averages["valiant_delay_x"]
+    assert averages["area_saving_pct"] > 10.0

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(the offline environment has no ``wheel`` package, so ``pip install -e .``
+may be unavailable; ``python setup.py develop`` or this path hook both work).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

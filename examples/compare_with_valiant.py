@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Head-to-head comparison of POLARIS and the VALIANT baseline.
+
+Reproduces a compact version of the paper's Tables II and IV on a handful of
+evaluation designs: leakage reduction, decision runtime, and area/power/delay
+overheads for VALIANT (TVLA-guided iterative protection) versus POLARIS at a
+50 % mask budget.
+
+Run with::
+
+    python examples/compare_with_valiant.py [design ...]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.baselines import ValiantConfig, valiant_protect
+from repro.core import (
+    ModelConfig,
+    PolarisConfig,
+    format_table,
+    protect_design,
+    train_polaris,
+)
+from repro.power import analyze_design
+from repro.tvla import TvlaConfig, assess_leakage
+from repro.workloads import WorkloadConfig, evaluation_designs, training_designs
+
+DEFAULT_DESIGNS = ("des3", "arbiter", "voter")
+
+
+def main(design_names) -> None:
+    tvla = TvlaConfig(n_traces=400, n_fixed_classes=3, seed=19)
+    config = PolarisConfig(
+        msize=30, locality=7, iterations=5, tvla=tvla,
+        model=ModelConfig(model_type="adaboost", learning_rate=0.1,
+                          n_estimators=80, max_depth=3))
+
+    print("Training POLARIS on the ISCAS-85-like suite ...")
+    trained = train_polaris(training_designs(WorkloadConfig(scale=0.4)), config)
+    print(f"  {trained.dataset.n_samples} samples, "
+          f"{trained.training_seconds:.1f} s\n")
+
+    rows = []
+    for design in evaluation_designs(WorkloadConfig(scale=0.35,
+                                                    designs=tuple(design_names))):
+        before = assess_leakage(design, tvla)
+        base = before.mean_leakage
+
+        polaris = protect_design(design, trained, mask_fraction=0.5, before=before)
+        valiant = valiant_protect(design, ValiantConfig(tvla=tvla))
+        valiant_after = assess_leakage(valiant.masked_netlist, tvla)
+        valiant_reduction = (base - valiant_after.mean_leakage) / base * 100.0
+
+        original = analyze_design(design)
+        valiant_metrics = analyze_design(valiant.masked_netlist)
+
+        rows.append([
+            design.name,
+            base,
+            polaris.leakage_reduction_pct,
+            valiant_reduction,
+            polaris.polaris_seconds,
+            valiant.runtime_seconds,
+            polaris.overheads["area_ratio"],
+            valiant_metrics.area / original.area,
+        ])
+
+    headers = ["design", "leakage before", "POLARIS 50% red %", "VALIANT red %",
+               "POLARIS time s", "VALIANT time s", "POLARIS area x",
+               "VALIANT area x"]
+    print(format_table(headers, rows))
+    print("\nExpected shape (paper Table II/IV): POLARIS at a 50 % mask budget "
+          "is competitive with\nVALIANT's full protection while being several "
+          "times faster and cheaper in area.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT_DESIGNS)

@@ -1,0 +1,5 @@
+"""Baseline protection flows the paper compares POLARIS against."""
+
+from .valiant import ValiantConfig, ValiantResult, valiant_protect
+
+__all__ = ["ValiantConfig", "ValiantResult", "valiant_protect"]

@@ -1,0 +1,12 @@
+"""Structural feature extraction and dataset handling."""
+
+from .encoding import DEFAULT_VOCABULARY, GateTypeEncoder
+from .dataset import Dataset
+from .structural import StructuralFeatureExtractor
+
+__all__ = [
+    "DEFAULT_VOCABULARY",
+    "GateTypeEncoder",
+    "Dataset",
+    "StructuralFeatureExtractor",
+]

@@ -1,0 +1,79 @@
+"""Gate-type one-hot encoding.
+
+The paper's structural features encode each gate (and its neighbours) with a
+one-hot vector over the cell vocabulary, so that tree models can branch on
+conditions like "neighbour 4 is a NAND" — which is also the form the
+SHAP-extracted rules of Table V take.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.cell_library import GateType
+
+#: Vocabulary used for one-hot encoding.  The order is fixed so feature
+#: indices are stable across designs and experiments.
+DEFAULT_VOCABULARY: Tuple[GateType, ...] = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUF,
+    GateType.MUX,
+    GateType.DFF,
+)
+
+
+class GateTypeEncoder:
+    """One-hot encoder over a fixed gate-type vocabulary.
+
+    Unknown types (e.g. masked composites encountered during re-analysis of
+    a protected design) map to the all-zeros vector rather than raising, so
+    feature extraction never fails mid-flow.
+    """
+
+    def __init__(self, vocabulary: Optional[Sequence[GateType]] = None) -> None:
+        self.vocabulary: Tuple[GateType, ...] = tuple(
+            vocabulary if vocabulary is not None else DEFAULT_VOCABULARY)
+        self._index: Dict[GateType, int] = {
+            gate_type: i for i, gate_type in enumerate(self.vocabulary)
+        }
+
+    @property
+    def size(self) -> int:
+        """Length of one one-hot vector."""
+        return len(self.vocabulary)
+
+    def encode(self, gate_type: Optional[GateType]) -> np.ndarray:
+        """One-hot encode ``gate_type`` (all zeros for None/unknown types)."""
+        vector = np.zeros(self.size, dtype=float)
+        if gate_type is not None and gate_type in self._index:
+            vector[self._index[gate_type]] = 1.0
+        return vector
+
+    def decode(self, vector: np.ndarray) -> Optional[GateType]:
+        """Inverse of :meth:`encode`; returns None for the all-zeros vector."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.size,):
+            raise ValueError(f"expected vector of length {self.size}")
+        if not vector.any():
+            return None
+        return self.vocabulary[int(np.argmax(vector))]
+
+    def feature_names(self, prefix: str) -> List[str]:
+        """Names of the one-hot columns, e.g. ``"{prefix}=NAND"``."""
+        return [f"{prefix}={gate_type.value}" for gate_type in self.vocabulary]
+
+    def index_of(self, gate_type: GateType) -> int:
+        """Column index of ``gate_type`` in the one-hot block.
+
+        Raises:
+            KeyError: if the type is not in the vocabulary.
+        """
+        return self._index[gate_type]

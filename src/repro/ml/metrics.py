@@ -1,0 +1,110 @@
+"""Classification metrics used for model evaluation and reporting."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted class.
+
+    Classes are the sorted union of labels appearing in either vector.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {cls: i for i, cls in enumerate(classes)}
+    matrix = np.zeros((classes.size, classes.size), dtype=int)
+    for truth, prediction in zip(y_true, y_pred):
+        matrix[index[truth], index[prediction]] += 1
+    return matrix
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray,
+                    positive_label: int = 1) -> float:
+    """Precision of the positive class (0 when nothing was predicted positive)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    predicted_positive = y_pred == positive_label
+    if not np.any(predicted_positive):
+        return 0.0
+    true_positive = np.sum(predicted_positive & (y_true == positive_label))
+    return float(true_positive / predicted_positive.sum())
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray,
+                 positive_label: int = 1) -> float:
+    """Recall of the positive class (0 when no positive samples exist)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    actual_positive = y_true == positive_label
+    if not np.any(actual_positive):
+        return 0.0
+    true_positive = np.sum(actual_positive & (y_pred == positive_label))
+    return float(true_positive / actual_positive.sum())
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray,
+             positive_label: int = 1) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    precision = precision_score(y_true, y_pred, positive_label)
+    recall = recall_score(y_true, y_pred, positive_label)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def roc_auc_score(y_true: np.ndarray, scores: np.ndarray,
+                  positive_label: int = 1) -> float:
+    """Area under the ROC curve via the rank (Mann–Whitney U) formulation."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    positive = y_true == positive_label
+    n_positive = int(positive.sum())
+    n_negative = int((~positive).sum())
+    if n_positive == 0 or n_negative == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=float)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # Average ranks for ties.
+    sorted_scores = scores[order]
+    start = 0
+    while start < scores.size:
+        end = start
+        while end + 1 < scores.size and sorted_scores[end + 1] == sorted_scores[start]:
+            end += 1
+        if end > start:
+            ranks[order[start:end + 1]] = np.mean(ranks[order[start:end + 1]])
+        start = end + 1
+    rank_sum = float(ranks[positive].sum())
+    auc = (rank_sum - n_positive * (n_positive + 1) / 2.0) / (n_positive * n_negative)
+    return float(auc)
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray,
+                          positive_label: int = 1) -> Dict[str, float]:
+    """Dictionary with accuracy/precision/recall/F1 for quick reporting."""
+    return {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision_score(y_true, y_pred, positive_label),
+        "recall": recall_score(y_true, y_pred, positive_label),
+        "f1": f1_score(y_true, y_pred, positive_label),
+    }

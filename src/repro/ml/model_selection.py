@@ -1,0 +1,91 @@
+"""Train/test splitting and cross-validation helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import accuracy_score
+
+
+def train_test_split(features: np.ndarray, labels: np.ndarray,
+                     test_fraction: float = 0.2, seed: int = 0,
+                     stratify: bool = True) -> Tuple[np.ndarray, np.ndarray,
+                                                     np.ndarray, np.ndarray]:
+    """Split arrays into train/test partitions.
+
+    Args:
+        features: Feature matrix.
+        labels: Label vector.
+        test_fraction: Fraction of samples assigned to the test split.
+        seed: RNG seed.
+        stratify: Preserve per-class proportions in both splits.
+
+    Returns:
+        ``(features_train, features_test, labels_train, labels_test)``.
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("features and labels must have the same length")
+    rng = np.random.default_rng(seed)
+    n_samples = features.shape[0]
+
+    if stratify:
+        test_indices: List[int] = []
+        for cls in np.unique(labels):
+            members = np.flatnonzero(labels == cls)
+            members = rng.permutation(members)
+            n_test = max(1, int(round(test_fraction * members.size)))
+            test_indices.extend(members[:n_test].tolist())
+        test_mask = np.zeros(n_samples, dtype=bool)
+        test_mask[test_indices] = True
+    else:
+        order = rng.permutation(n_samples)
+        n_test = max(1, int(round(test_fraction * n_samples)))
+        test_mask = np.zeros(n_samples, dtype=bool)
+        test_mask[order[:n_test]] = True
+
+    return (features[~test_mask], features[test_mask],
+            labels[~test_mask], labels[test_mask])
+
+
+def stratified_k_fold(labels: np.ndarray, n_folds: int = 5,
+                      seed: int = 0) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Return ``(train_indices, test_indices)`` pairs for stratified k-fold CV."""
+    labels = np.asarray(labels)
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    rng = np.random.default_rng(seed)
+    fold_of = np.zeros(labels.shape[0], dtype=int)
+    for cls in np.unique(labels):
+        members = rng.permutation(np.flatnonzero(labels == cls))
+        for position, index in enumerate(members):
+            fold_of[index] = position % n_folds
+    folds = []
+    for fold in range(n_folds):
+        test_mask = fold_of == fold
+        folds.append((np.flatnonzero(~test_mask), np.flatnonzero(test_mask)))
+    return folds
+
+
+def cross_val_score(model_factory: Callable[[], object], features: np.ndarray,
+                    labels: np.ndarray, n_folds: int = 5, seed: int = 0,
+                    scorer: Callable[[np.ndarray, np.ndarray], float] = accuracy_score,
+                    ) -> np.ndarray:
+    """Cross-validated scores of a model built by ``model_factory``.
+
+    The factory is called once per fold so folds never share fitted state.
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    scores = []
+    for train_indices, test_indices in stratified_k_fold(labels, n_folds, seed):
+        model = model_factory()
+        model.fit(features[train_indices], labels[train_indices])
+        predictions = model.predict(features[test_indices])
+        scores.append(scorer(labels[test_indices], predictions))
+    return np.asarray(scores, dtype=float)

@@ -1,0 +1,50 @@
+"""Feature scaling utilities."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import NotFittedError
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaler.
+
+    Columns with zero variance are left centred but unscaled, so one-hot
+    features that happen to be constant in a dataset do not blow up.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Scale ``features`` with the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        features = np.asarray(features, dtype=float)
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        features = np.asarray(features, dtype=float)
+        return features * self.scale_ + self.mean_

@@ -1,0 +1,303 @@
+"""Named benchmark registry (ISCAS-85 / EPFL / MIT-CEP stand-ins).
+
+The paper trains POLARIS on six ISCAS-85 designs and evaluates on eleven
+larger designs drawn from the EPFL combinational suite and the MIT-CEP
+platform (``des3``, ``arbiter``, ``sin``, ``md5``, ``voter``, ``square``,
+``sqrt``, ``div``, ``memctrl``, ``multiplier``, ``log2``).  The original
+netlists require a synthesis flow that is unavailable offline, so each name
+is mapped to a deterministic synthetic recipe that composes the generators
+in :mod:`repro.netlist.generators` to approximate the design's character
+(crypto, control, or arithmetic dominated) and its *relative* size ordering.
+
+Absolute gate counts are scaled down so the full TVLA + masking flow runs on
+a laptop; the ``scale`` argument lets experiments dial size up or down
+uniformly, and the relative ordering of design sizes follows the paper's
+Table IV area column (``des3`` smallest ... ``log2`` largest).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .generators import (
+    RandomLogicSpec,
+    generate_array_multiplier,
+    generate_mux_tree,
+    generate_parity_tree,
+    generate_random_logic,
+    generate_ripple_adder,
+    generate_sbox_logic,
+    generate_random_logic as _random_logic,
+    merge_netlists,
+)
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Description of one named benchmark.
+
+    Attributes:
+        name: Benchmark name as used by the paper.
+        suite: ``"training"`` (ISCAS-85-like) or ``"evaluation"``
+            (EPFL / MIT-CEP-like).
+        profile: Dominant logic character (``crypto``/``control``/
+            ``arithmetic``/``random``).
+        base_gates: Approximate combinational gate count at ``scale=1.0``.
+        description: Human-readable provenance note.
+    """
+
+    name: str
+    suite: str
+    profile: str
+    base_gates: int
+    description: str
+
+
+def _scaled(count: int, scale: float, minimum: int = 24) -> int:
+    return max(minimum, int(round(count * scale)))
+
+
+def _build_des3(scale: float, seed: int) -> Netlist:
+    n = _scaled(130, scale)
+    parts = [
+        generate_sbox_logic(8, 6, seed=seed, name="sbox0"),
+        generate_sbox_logic(8, 6, seed=seed + 1, name="sbox1"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(16, n - 90), n_inputs=24, n_outputs=12,
+                            profile="crypto", seed=seed + 2), "perm"),
+        generate_parity_tree(16, name="parity"),
+    ]
+    return merge_netlists("des3", parts, stitch_seed=seed)
+
+
+def _build_arbiter(scale: float, seed: int) -> Netlist:
+    n = _scaled(150, scale)
+    parts = [
+        generate_mux_tree(4, name="grant_mux"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(16, n - 70), n_inputs=20, n_outputs=10,
+                            profile="control", seed=seed), "priority"),
+    ]
+    return merge_netlists("arbiter", parts, stitch_seed=seed)
+
+
+def _build_sin(scale: float, seed: int) -> Netlist:
+    n = _scaled(190, scale)
+    parts = [
+        generate_ripple_adder(8, name="cordic_add"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(16, n - 80), n_inputs=20, n_outputs=12,
+                            profile="arithmetic", seed=seed), "poly"),
+    ]
+    return merge_netlists("sin", parts, stitch_seed=seed)
+
+
+def _build_md5(scale: float, seed: int) -> Netlist:
+    n = _scaled(330, scale)
+    parts = [
+        generate_ripple_adder(12, name="round_add"),
+        generate_sbox_logic(8, 8, seed=seed, name="f_func"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(24, n - 160), n_inputs=32, n_outputs=16,
+                            profile="crypto", seed=seed + 1), "rounds"),
+        generate_parity_tree(12, name="mix"),
+    ]
+    return merge_netlists("md5", parts, stitch_seed=seed)
+
+
+def _build_voter(scale: float, seed: int) -> Netlist:
+    n = _scaled(380, scale)
+    parts = [
+        generate_mux_tree(3, name="select"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(24, n - 60), n_inputs=24, n_outputs=12,
+                            profile="control", locality=0.5, seed=seed), "majority"),
+    ]
+    return merge_netlists("voter", parts, stitch_seed=seed)
+
+
+def _build_square(scale: float, seed: int) -> Netlist:
+    n = _scaled(640, scale)
+    parts = [
+        generate_array_multiplier(6, name="sq_core"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(24, n - 260), n_inputs=24, n_outputs=12,
+                            profile="arithmetic", seed=seed), "post"),
+    ]
+    return merge_netlists("square", parts, stitch_seed=seed)
+
+
+def _build_sqrt(scale: float, seed: int) -> Netlist:
+    n = _scaled(560, scale)
+    parts = [
+        generate_ripple_adder(12, name="restoring_add"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(24, n - 110), n_inputs=28, n_outputs=14,
+                            profile="arithmetic", locality=0.7, seed=seed), "iter"),
+    ]
+    return merge_netlists("sqrt", parts, stitch_seed=seed)
+
+
+def _build_div(scale: float, seed: int) -> Netlist:
+    n = _scaled(580, scale)
+    parts = [
+        generate_ripple_adder(12, name="sub_add"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(24, n - 110), n_inputs=28, n_outputs=14,
+                            profile="arithmetic", locality=0.7, seed=seed + 3), "quotient"),
+    ]
+    return merge_netlists("div", parts, stitch_seed=seed)
+
+
+def _build_memctrl(scale: float, seed: int) -> Netlist:
+    n = _scaled(560, scale)
+    parts = [
+        generate_mux_tree(4, name="bank_mux"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(24, n - 90), n_inputs=32, n_outputs=16,
+                            profile="control", register_fraction=0.08,
+                            seed=seed), "fsm"),
+    ]
+    return merge_netlists("memctrl", parts, stitch_seed=seed)
+
+
+def _build_multiplier(scale: float, seed: int) -> Netlist:
+    n = _scaled(860, scale)
+    parts = [
+        generate_array_multiplier(8, name="mult_core"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(24, n - 470), n_inputs=24, n_outputs=12,
+                            profile="arithmetic", seed=seed), "operand_prep"),
+    ]
+    return merge_netlists("multiplier", parts, stitch_seed=seed)
+
+
+def _build_log2(scale: float, seed: int) -> Netlist:
+    n = _scaled(1000, scale)
+    parts = [
+        generate_array_multiplier(6, name="log_mult"),
+        generate_ripple_adder(10, name="log_add"),
+        generate_random_logic(
+            RandomLogicSpec(n_gates=max(24, n - 340), n_inputs=28, n_outputs=14,
+                            profile="arithmetic", locality=0.65, seed=seed), "lut_logic"),
+    ]
+    return merge_netlists("log2", parts, stitch_seed=seed)
+
+
+def _build_iscas(gate_count: int, profile: str, name: str, seed: int,
+                 scale: float) -> Netlist:
+    spec = RandomLogicSpec(
+        n_gates=_scaled(gate_count, scale),
+        n_inputs=max(8, _scaled(gate_count, scale) // 10),
+        n_outputs=max(4, _scaled(gate_count, scale) // 20),
+        profile=profile,
+        seed=seed,
+    )
+    return generate_random_logic(spec, name)
+
+
+_EVALUATION_BUILDERS: Dict[str, Callable[[float, int], Netlist]] = {
+    "des3": _build_des3,
+    "arbiter": _build_arbiter,
+    "sin": _build_sin,
+    "md5": _build_md5,
+    "voter": _build_voter,
+    "square": _build_square,
+    "sqrt": _build_sqrt,
+    "div": _build_div,
+    "memctrl": _build_memctrl,
+    "multiplier": _build_multiplier,
+    "log2": _build_log2,
+}
+
+_TRAINING_PARAMS: Dict[str, Tuple[int, str]] = {
+    # name -> (base gate count, gate-mix profile); sizes follow ISCAS-85 ordering.
+    "c432": (100, "random"),
+    "c499": (130, "crypto"),
+    "c880": (160, "arithmetic"),
+    "c1355": (190, "crypto"),
+    "c1908": (220, "random"),
+    "c6288": (280, "arithmetic"),
+}
+
+_SPECS: Dict[str, BenchmarkSpec] = {}
+for _name, (_gates, _profile) in _TRAINING_PARAMS.items():
+    _SPECS[_name] = BenchmarkSpec(
+        name=_name, suite="training", profile=_profile, base_gates=_gates,
+        description=f"ISCAS-85 {_name} stand-in (synthetic {_profile} logic)",
+    )
+_EVAL_META: Dict[str, Tuple[int, str, str]] = {
+    "des3": (130, "crypto", "MIT-CEP triple-DES core stand-in"),
+    "arbiter": (150, "control", "EPFL arbiter stand-in"),
+    "sin": (190, "arithmetic", "EPFL sine core stand-in"),
+    "md5": (330, "crypto", "MIT-CEP MD5 core stand-in"),
+    "voter": (380, "control", "EPFL voter stand-in"),
+    "square": (640, "arithmetic", "EPFL square stand-in"),
+    "sqrt": (560, "arithmetic", "EPFL square-root stand-in"),
+    "div": (580, "arithmetic", "EPFL divider stand-in"),
+    "memctrl": (560, "control", "EPFL memory controller stand-in"),
+    "multiplier": (860, "arithmetic", "EPFL multiplier stand-in"),
+    "log2": (1000, "arithmetic", "EPFL log2 stand-in"),
+}
+for _name, (_gates, _profile, _desc) in _EVAL_META.items():
+    _SPECS[_name] = BenchmarkSpec(
+        name=_name, suite="evaluation", profile=_profile, base_gates=_gates,
+        description=_desc,
+    )
+
+#: Names of the training-suite designs, smallest first (paper §V-A).
+TRAINING_SUITE: Tuple[str, ...] = tuple(_TRAINING_PARAMS)
+
+#: Names of the evaluation-suite designs in the order of the paper's Table II.
+EVALUATION_SUITE: Tuple[str, ...] = (
+    "des3", "arbiter", "sin", "md5", "voter", "square", "sqrt", "div",
+    "memctrl", "multiplier", "log2",
+)
+
+
+def list_benchmarks(suite: Optional[str] = None) -> List[BenchmarkSpec]:
+    """Return benchmark specs, optionally filtered by suite."""
+    specs = list(_SPECS.values())
+    if suite is not None:
+        specs = [s for s in specs if s.suite == suite]
+    return sorted(specs, key=lambda s: (s.suite, s.base_gates))
+
+
+def benchmark_spec(name: str) -> BenchmarkSpec:
+    """Return the spec of benchmark ``name``.
+
+    Raises:
+        KeyError: for unknown benchmark names.
+    """
+    if name not in _SPECS:
+        known = ", ".join(sorted(_SPECS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return _SPECS[name]
+
+
+def load_benchmark(name: str, scale: float = 1.0, seed: int = 2025) -> Netlist:
+    """Build and return the named benchmark netlist.
+
+    Args:
+        name: Benchmark name (see :func:`list_benchmarks`).
+        scale: Uniform size multiplier; 1.0 reproduces the default sizes
+            (already scaled down from the paper's synthesized designs).
+        seed: RNG seed; the same (name, scale, seed) triple always yields an
+            identical netlist.
+
+    Raises:
+        KeyError: for unknown benchmark names.
+        ValueError: for non-positive ``scale``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    spec = benchmark_spec(name)
+    # A deterministic per-name offset (Python's hash() is salted per process).
+    design_seed = seed + (zlib.crc32(name.encode()) % 10_000)
+    if spec.suite == "training":
+        gates, profile = _TRAINING_PARAMS[name]
+        return _build_iscas(gates, profile, name, design_seed, scale)
+    return _EVALUATION_BUILDERS[name](scale, design_seed)

@@ -1,0 +1,438 @@
+"""Synthetic gate-level circuit generators.
+
+The paper evaluates POLARIS on ISCAS-85 (training) and EPFL / MIT-CEP
+(evaluation) benchmark netlists synthesized with Synopsys Design Compiler.
+Neither the benchmark netlists nor a synthesis tool are available offline, so
+this module provides deterministic, seeded generators that produce circuits
+with comparable structural characteristics:
+
+* random reconvergent DAG logic with a realistic gate-type mix (crypto-ish
+  datapaths are XOR/AND heavy, control logic is NAND/NOR heavy),
+* arithmetic building blocks (ripple-carry adders, array multipliers,
+  parity/XOR trees, mux trees) that the named benchmark recipes compose,
+* optional register stages (DFFs) for sequential designs.
+
+Every generator takes an explicit ``seed`` so all experiments are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cell_library import GateType
+from .netlist import Netlist
+
+#: Gate-type mixes (sampling weights) used by the random-logic generator.
+#: Keys are profile names referenced by the benchmark recipes.
+GATE_MIX_PROFILES: Dict[str, Dict[GateType, float]] = {
+    # Crypto datapath: XOR-rich with non-linear AND layers (DES/MD5-like).
+    "crypto": {
+        GateType.XOR: 0.30, GateType.AND: 0.18, GateType.NAND: 0.12,
+        GateType.OR: 0.10, GateType.NOR: 0.06, GateType.XNOR: 0.10,
+        GateType.NOT: 0.10, GateType.BUF: 0.04,
+    },
+    # Control logic: NAND/NOR dominated (arbiter, memory controller).
+    "control": {
+        GateType.NAND: 0.28, GateType.NOR: 0.20, GateType.AND: 0.12,
+        GateType.OR: 0.12, GateType.NOT: 0.14, GateType.XOR: 0.06,
+        GateType.XNOR: 0.03, GateType.BUF: 0.05,
+    },
+    # Arithmetic datapath: balanced mix with many XOR/AND (adders, mult).
+    "arithmetic": {
+        GateType.XOR: 0.22, GateType.AND: 0.22, GateType.OR: 0.12,
+        GateType.NAND: 0.14, GateType.NOR: 0.08, GateType.XNOR: 0.08,
+        GateType.NOT: 0.10, GateType.BUF: 0.04,
+    },
+    # Generic random logic (ISCAS-85-like).
+    "random": {
+        GateType.NAND: 0.22, GateType.AND: 0.16, GateType.NOR: 0.12,
+        GateType.OR: 0.14, GateType.XOR: 0.12, GateType.XNOR: 0.06,
+        GateType.NOT: 0.14, GateType.BUF: 0.04,
+    },
+}
+
+#: Fan-in by gate type used when sampling random logic.
+_FANIN_BY_TYPE: Dict[GateType, int] = {
+    GateType.NOT: 1, GateType.BUF: 1,
+    GateType.AND: 2, GateType.NAND: 2, GateType.OR: 2, GateType.NOR: 2,
+    GateType.XOR: 2, GateType.XNOR: 2, GateType.MUX: 3,
+}
+
+
+@dataclass
+class RandomLogicSpec:
+    """Parameters for :func:`generate_random_logic`.
+
+    Attributes:
+        n_gates: Number of combinational gates to create.
+        n_inputs: Number of primary inputs.
+        n_outputs: Number of primary outputs.
+        profile: Key into :data:`GATE_MIX_PROFILES`.
+        locality: Probability mass concentrated on recently created gates
+            when selecting fan-in nets; higher values produce deeper, more
+            serial circuits, lower values produce wide, shallow ones.
+        register_fraction: Fraction of gates followed by a DFF stage,
+            producing a sequential design when > 0.
+        seed: RNG seed.
+    """
+
+    n_gates: int
+    n_inputs: int = 16
+    n_outputs: int = 8
+    profile: str = "random"
+    locality: float = 0.6
+    register_fraction: float = 0.0
+    seed: int = 0
+
+
+def _sample_gate_type(rng: np.random.Generator, profile: str) -> GateType:
+    mix = GATE_MIX_PROFILES[profile]
+    types = list(mix.keys())
+    weights = np.array([mix[t] for t in types], dtype=float)
+    weights /= weights.sum()
+    return types[int(rng.choice(len(types), p=weights))]
+
+
+def generate_random_logic(spec: RandomLogicSpec, name: str = "random_logic") -> Netlist:
+    """Generate a random reconvergent combinational (or sequential) netlist.
+
+    The construction sweeps gate-by-gate, choosing each new gate's inputs
+    from previously created nets with a locality bias; this yields the deep,
+    reconvergent structure typical of synthesized logic rather than a flat
+    two-level network.
+    """
+    if spec.n_gates < 1:
+        raise ValueError("n_gates must be >= 1")
+    if spec.n_inputs < 2:
+        raise ValueError("n_inputs must be >= 2")
+    if spec.profile not in GATE_MIX_PROFILES:
+        raise ValueError(f"unknown gate-mix profile {spec.profile!r}")
+
+    rng = np.random.default_rng(spec.seed)
+    netlist = Netlist(name)
+    available: List[str] = []
+    for i in range(spec.n_inputs):
+        net = f"pi_{i}"
+        netlist.add_primary_input(net)
+        available.append(net)
+
+    dff_budget = int(round(spec.n_gates * spec.register_fraction))
+    for index in range(spec.n_gates):
+        gate_type = _sample_gate_type(rng, spec.profile)
+        fanin = _FANIN_BY_TYPE[gate_type]
+        inputs = _pick_inputs(rng, available, fanin, spec.locality)
+        out_net = f"w_{index}"
+        netlist.add_gate(f"u{index}", gate_type, inputs, out_net)
+        available.append(out_net)
+        if dff_budget > 0 and rng.random() < spec.register_fraction:
+            reg_net = f"r_{index}"
+            netlist.add_gate(f"ff{index}", GateType.DFF, [out_net], reg_net)
+            available.append(reg_net)
+            dff_budget -= 1
+
+    _connect_outputs(netlist, available[spec.n_inputs:], spec.n_outputs, rng)
+    return netlist
+
+
+def _pick_inputs(rng: np.random.Generator, available: Sequence[str],
+                 fanin: int, locality: float) -> List[str]:
+    """Pick ``fanin`` distinct nets, biased towards recently created ones."""
+    n = len(available)
+    # Geometric-ish bias towards the tail (recent nets).
+    ranks = np.arange(n, dtype=float)
+    weights = (1.0 - locality) + locality * (ranks + 1.0) / n
+    weights = weights ** 3
+    weights /= weights.sum()
+    count = min(fanin, n)
+    picks = rng.choice(n, size=count, replace=False, p=weights)
+    chosen = [available[int(i)] for i in picks]
+    while len(chosen) < fanin:
+        chosen.append(available[int(rng.integers(0, n))])
+    return chosen
+
+
+def _connect_outputs(netlist: Netlist, internal_nets: Sequence[str],
+                     n_outputs: int, rng: np.random.Generator) -> None:
+    """Declare primary outputs on the last created nets (plus random picks)."""
+    candidates = list(internal_nets)
+    if not candidates:
+        candidates = list(netlist.primary_inputs)
+    chosen: List[str] = []
+    # Prefer the most recently created nets (closest to "final" logic).
+    tail = candidates[-n_outputs:]
+    chosen.extend(tail)
+    while len(chosen) < n_outputs:
+        chosen.append(candidates[int(rng.integers(0, len(candidates)))])
+    seen = set()
+    for net in chosen[:n_outputs]:
+        if net in seen:
+            continue
+        seen.add(net)
+        netlist.add_primary_output(net)
+    # Ensure at least one output exists even if duplicates collapsed.
+    if not netlist.primary_outputs:
+        netlist.add_primary_output(candidates[-1])
+
+
+# ----------------------------------------------------------------------
+# Structured arithmetic blocks
+# ----------------------------------------------------------------------
+def generate_ripple_adder(width: int, name: str = "adder") -> Netlist:
+    """Generate a ``width``-bit ripple-carry adder (a + b -> sum, cout)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    netlist = Netlist(name)
+    a = [f"a_{i}" for i in range(width)]
+    b = [f"b_{i}" for i in range(width)]
+    for net in a + b:
+        netlist.add_primary_input(net)
+    carry = ""
+    for i in range(width):
+        p = f"p_{i}"
+        g = f"g_{i}"
+        netlist.add_gate(f"xor_p{i}", GateType.XOR, [a[i], b[i]], p)
+        netlist.add_gate(f"and_g{i}", GateType.AND, [a[i], b[i]], g)
+        if i == 0:
+            sum_net = p
+            carry = g
+        else:
+            sum_net = f"s_{i}"
+            netlist.add_gate(f"xor_s{i}", GateType.XOR, [p, carry], sum_net)
+            t = f"t_{i}"
+            netlist.add_gate(f"and_t{i}", GateType.AND, [p, carry], t)
+            new_carry = f"c_{i}"
+            netlist.add_gate(f"or_c{i}", GateType.OR, [g, t], new_carry)
+            carry = new_carry
+        netlist.add_primary_output(sum_net)
+    netlist.add_primary_output(carry)
+    return netlist
+
+
+def generate_array_multiplier(width: int, name: str = "multiplier") -> Netlist:
+    """Generate a ``width`` x ``width`` unsigned shift-add array multiplier.
+
+    The product is accumulated row by row: each partial-product row is added
+    into a running sum with a ripple-carry adder built from explicit
+    half/full adders, yielding the XOR/AND-dense datapath structure typical
+    of synthesized multipliers.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    netlist = Netlist(name)
+    a = [f"a_{i}" for i in range(width)]
+    b = [f"b_{i}" for i in range(width)]
+    for net in a + b:
+        netlist.add_primary_input(net)
+
+    counter = [0]
+
+    def half_adder(x: str, y: str) -> Tuple[str, str]:
+        idx = counter[0]
+        counter[0] += 1
+        s_net, c_net = f"has_{idx}", f"hac_{idx}"
+        netlist.add_gate(f"ha_xor_{idx}", GateType.XOR, [x, y], s_net)
+        netlist.add_gate(f"ha_and_{idx}", GateType.AND, [x, y], c_net)
+        return s_net, c_net
+
+    def full_adder(x: str, y: str, cin: str) -> Tuple[str, str]:
+        idx = counter[0]
+        counter[0] += 1
+        p_net = f"fap_{idx}"
+        s_net = f"fas_{idx}"
+        g_net = f"fag_{idx}"
+        t_net = f"fat_{idx}"
+        c_net = f"fac_{idx}"
+        netlist.add_gate(f"fa_xor1_{idx}", GateType.XOR, [x, y], p_net)
+        netlist.add_gate(f"fa_xor2_{idx}", GateType.XOR, [p_net, cin], s_net)
+        netlist.add_gate(f"fa_and1_{idx}", GateType.AND, [x, y], g_net)
+        netlist.add_gate(f"fa_and2_{idx}", GateType.AND, [p_net, cin], t_net)
+        netlist.add_gate(f"fa_or_{idx}", GateType.OR, [g_net, t_net], c_net)
+        return s_net, c_net
+
+    # Partial products: pp[i][j] = a[j] AND b[i], weight 2^(i+j).
+    pp = [[f"pp_{i}_{j}" for j in range(width)] for i in range(width)]
+    for i in range(width):
+        for j in range(width):
+            netlist.add_gate(f"and_pp{i}_{j}", GateType.AND, [a[j], b[i]], pp[i][j])
+
+    # Accumulate rows: acc holds product bits by weight position.
+    acc: List[str] = list(pp[0])
+    product: List[str] = [acc[0]]
+    acc = acc[1:]
+    for i in range(1, width):
+        row = pp[i]
+        new_acc: List[str] = []
+        carry = ""
+        for j in range(width):
+            acc_bit = acc[j] if j < len(acc) else ""
+            operands = [v for v in (acc_bit, row[j], carry) if v]
+            if len(operands) == 1:
+                s_net, carry = operands[0], ""
+            elif len(operands) == 2:
+                s_net, carry = half_adder(operands[0], operands[1])
+            else:
+                s_net, carry = full_adder(operands[0], operands[1], operands[2])
+            new_acc.append(s_net)
+        if carry:
+            new_acc.append(carry)
+        product.append(new_acc[0])
+        acc = new_acc[1:]
+    product.extend(acc)
+
+    for net in product:
+        netlist.add_primary_output(net)
+    return netlist
+
+
+def generate_parity_tree(width: int, name: str = "parity") -> Netlist:
+    """Generate an XOR reduction tree computing the parity of ``width`` bits."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    netlist = Netlist(name)
+    nets = []
+    for i in range(width):
+        net = f"in_{i}"
+        netlist.add_primary_input(net)
+        nets.append(net)
+    level = 0
+    while len(nets) > 1:
+        next_nets = []
+        for i in range(0, len(nets) - 1, 2):
+            out = f"x_{level}_{i // 2}"
+            netlist.add_gate(f"xor_{level}_{i // 2}", GateType.XOR,
+                             [nets[i], nets[i + 1]], out)
+            next_nets.append(out)
+        if len(nets) % 2:
+            next_nets.append(nets[-1])
+        nets = next_nets
+        level += 1
+    netlist.add_primary_output(nets[0])
+    return netlist
+
+
+def generate_mux_tree(select_bits: int, name: str = "mux_tree") -> Netlist:
+    """Generate a 2^``select_bits``-to-1 multiplexer tree from basic gates.
+
+    Each 2:1 mux is expanded into AND/AND/OR/NOT gates, giving arbiter-like
+    control-dominated structure.
+    """
+    if select_bits < 1:
+        raise ValueError("select_bits must be >= 1")
+    n_data = 2 ** select_bits
+    netlist = Netlist(name)
+    data = [f"d_{i}" for i in range(n_data)]
+    select = [f"s_{i}" for i in range(select_bits)]
+    for net in data + select:
+        netlist.add_primary_input(net)
+
+    counter = 0
+    level_nets = list(data)
+    for level in range(select_bits):
+        sel = select[level]
+        sel_n = f"seln_{level}"
+        netlist.add_gate(f"not_sel{level}", GateType.NOT, [sel], sel_n)
+        next_nets = []
+        for i in range(0, len(level_nets), 2):
+            lo, hi = level_nets[i], level_nets[i + 1]
+            a_net, b_net, out = f"ma_{counter}", f"mb_{counter}", f"mo_{counter}"
+            netlist.add_gate(f"and_lo{counter}", GateType.AND, [lo, sel_n], a_net)
+            netlist.add_gate(f"and_hi{counter}", GateType.AND, [hi, sel], b_net)
+            netlist.add_gate(f"or_m{counter}", GateType.OR, [a_net, b_net], out)
+            next_nets.append(out)
+            counter += 1
+        level_nets = next_nets
+    netlist.add_primary_output(level_nets[0])
+    return netlist
+
+
+def generate_sbox_logic(input_bits: int, output_bits: int, seed: int = 0,
+                        name: str = "sbox") -> Netlist:
+    """Generate S-box-like dense non-linear logic (crypto substitution layer).
+
+    Each output bit is a random balanced function of the inputs built from a
+    few XOR/AND/NAND layers, approximating the logic produced when a lookup
+    table S-box is synthesized to gates.
+    """
+    if input_bits < 2:
+        raise ValueError("input_bits must be >= 2")
+    rng = np.random.default_rng(seed)
+    netlist = Netlist(name)
+    inputs = [f"x_{i}" for i in range(input_bits)]
+    for net in inputs:
+        netlist.add_primary_input(net)
+
+    counter = 0
+    for out_index in range(output_bits):
+        # Layer 1: pairwise non-linear terms.
+        terms: List[str] = []
+        n_terms = max(3, input_bits)
+        for _ in range(n_terms):
+            i, j = rng.choice(input_bits, size=2, replace=False)
+            gate_type = [GateType.AND, GateType.NAND, GateType.OR][int(rng.integers(0, 3))]
+            net = f"t_{out_index}_{counter}"
+            netlist.add_gate(f"nl_{out_index}_{counter}", gate_type,
+                             [inputs[int(i)], inputs[int(j)]], net)
+            terms.append(net)
+            counter += 1
+        # Layer 2: XOR-combine the terms (linear mixing).
+        acc = terms[0]
+        for k, term in enumerate(terms[1:]):
+            nxt = f"mix_{out_index}_{k}"
+            netlist.add_gate(f"xor_{out_index}_{k}", GateType.XOR, [acc, term], nxt)
+            acc = nxt
+        netlist.add_primary_output(acc)
+    return netlist
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+def merge_netlists(name: str, parts: Sequence[Netlist],
+                   stitch_seed: int = 0) -> Netlist:
+    """Merge several sub-netlists into one design with light cross-stitching.
+
+    Nets and gates of each part are prefixed with the part index to avoid
+    collisions.  A few XOR "stitch" gates combine outputs of different parts
+    so the merged design is a single connected circuit rather than disjoint
+    islands (mirroring how synthesized designs share logic).
+    """
+    rng = np.random.default_rng(stitch_seed)
+    merged = Netlist(name)
+    part_outputs: List[List[str]] = []
+    for index, part in enumerate(parts):
+        prefix = f"p{index}_"
+        for net in part.primary_inputs:
+            merged.add_primary_input(prefix + net)
+        for gate in part.gates:
+            merged.add_gate(prefix + gate.name, gate.gate_type,
+                            [prefix + n for n in gate.inputs],
+                            prefix + gate.output, gate.attributes)
+        part_outputs.append([prefix + net for net in part.primary_outputs])
+
+    stitch_count = 0
+    all_outputs: List[str] = []
+    for outputs in part_outputs:
+        all_outputs.extend(outputs)
+    # Stitch adjacent parts together with XOR gates (keeps all cones observable).
+    final_outputs: List[str] = list(all_outputs)
+    if len(parts) > 1:
+        for index in range(len(parts) - 1):
+            left = part_outputs[index]
+            right = part_outputs[index + 1]
+            n_stitches = max(1, min(len(left), len(right)) // 4)
+            for _ in range(n_stitches):
+                a = left[int(rng.integers(0, len(left)))]
+                b = right[int(rng.integers(0, len(right)))]
+                out = f"stitch_{stitch_count}"
+                merged.add_gate(f"xor_stitch_{stitch_count}", GateType.XOR,
+                                [a, b], out)
+                final_outputs.append(out)
+                stitch_count += 1
+    for net in final_outputs:
+        if net not in merged.primary_outputs:
+            merged.add_primary_output(net)
+    return merged

@@ -1,0 +1,129 @@
+"""Graph view of a netlist (the ``graphify`` step of the paper).
+
+Algorithm 1 of the paper begins with ``Gr <- graphify(D)``: the gate-level
+design is converted into a directed graph whose vertices are gates and whose
+edges are the gate-to-gate interconnections.  The structural feature
+extractor (:mod:`repro.features.structural`) performs BFS over this graph to
+collect the locality-``L`` neighbourhood of each gate, and the reporting code
+uses it for depth/fan-out statistics.
+
+networkx is used as the graph backend so downstream code can reuse its
+algorithms (BFS trees, topological sorting, connected components).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import networkx as nx
+
+from .netlist import Netlist
+
+
+def netlist_to_graph(netlist: Netlist, include_ports: bool = True) -> nx.DiGraph:
+    """Convert ``netlist`` to a directed gate graph.
+
+    Vertices are gate names (plus pseudo-vertices ``PI:<net>`` / ``PO:<net>``
+    for primary ports when ``include_ports`` is true); an edge ``u -> v``
+    means the output of ``u`` feeds an input of ``v``.  Each gate vertex
+    carries ``gate_type`` (string) and ``fanin`` attributes; each edge
+    carries the connecting ``net`` name.
+    """
+    graph = nx.DiGraph(name=netlist.name)
+    for gate in netlist.gates:
+        graph.add_node(gate.name, gate_type=gate.gate_type.value, fanin=gate.fanin)
+
+    if include_ports:
+        for net in netlist.primary_inputs:
+            graph.add_node(f"PI:{net}", gate_type="INPUT", fanin=0)
+        for net in netlist.primary_outputs:
+            graph.add_node(f"PO:{net}", gate_type="OUTPUT", fanin=1)
+
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            driver = netlist.driver_of(net)
+            if driver is not None:
+                graph.add_edge(driver.name, gate.name, net=net)
+            elif include_ports and net in netlist.primary_inputs:
+                graph.add_edge(f"PI:{net}", gate.name, net=net)
+    if include_ports:
+        for net in netlist.primary_outputs:
+            driver = netlist.driver_of(net)
+            if driver is not None:
+                graph.add_edge(driver.name, f"PO:{net}", net=net)
+    return graph
+
+
+def combinational_graph(netlist: Netlist) -> nx.DiGraph:
+    """Gate graph restricted to combinational cells with DFF edges cut.
+
+    Flip-flop outputs are treated as pseudo primary inputs and flip-flop
+    inputs as pseudo primary outputs, yielding a DAG suitable for
+    levelisation and static timing analysis even for sequential designs.
+    """
+    graph = netlist_to_graph(netlist, include_ports=False)
+    sequential = {g.name for g in netlist.sequential_gates()}
+    dag = nx.DiGraph(name=netlist.name)
+    dag.add_nodes_from(
+        (n, d) for n, d in graph.nodes(data=True) if n not in sequential
+    )
+    for u, v, data in graph.edges(data=True):
+        if u in sequential or v in sequential:
+            continue
+        dag.add_edge(u, v, **data)
+    return dag
+
+
+def neighborhood(graph: nx.DiGraph, gate_name: str, size: int) -> List[str]:
+    """Return up to ``size`` gates around ``gate_name`` in BFS order.
+
+    The BFS alternately explores successors and predecessors (treating the
+    graph as undirected for locality purposes, matching the paper's
+    "neighboring gates" description) and excludes the seed gate itself.
+    Port pseudo-vertices are skipped.
+    """
+    if gate_name not in graph:
+        raise KeyError(f"gate {gate_name!r} not in graph")
+    visited: Set[str] = {gate_name}
+    frontier: List[str] = [gate_name]
+    ordered: List[str] = []
+    while frontier and len(ordered) < size:
+        next_frontier: List[str] = []
+        for node in frontier:
+            candidates = list(graph.successors(node)) + list(graph.predecessors(node))
+            for other in candidates:
+                if other in visited:
+                    continue
+                visited.add(other)
+                next_frontier.append(other)
+                if not other.startswith(("PI:", "PO:")):
+                    ordered.append(other)
+                    if len(ordered) >= size:
+                        break
+            if len(ordered) >= size:
+                break
+        frontier = next_frontier
+    return ordered[:size]
+
+
+def logic_depth(netlist: Netlist) -> int:
+    """Longest combinational path length in gates (0 for empty designs)."""
+    dag = combinational_graph(netlist)
+    if dag.number_of_nodes() == 0:
+        return 0
+    depth = 0
+    lengths: Dict[str, int] = {}
+    for node in nx.topological_sort(dag):
+        preds = list(dag.predecessors(node))
+        lengths[node] = 1 + max((lengths[p] for p in preds), default=0)
+        depth = max(depth, lengths[node])
+    return depth
+
+
+def fanout_histogram(netlist: Netlist) -> Dict[int, int]:
+    """Histogram mapping fan-out count to number of gates with that fan-out."""
+    histogram: Dict[int, int] = {}
+    for gate in netlist.gates:
+        fanout = len(netlist.fanout_gates(gate.name))
+        histogram[fanout] = histogram.get(fanout, 0) + 1
+    return histogram

@@ -1,0 +1,339 @@
+"""Gate-level netlist data model.
+
+A :class:`Netlist` is the central object of the whole flow: the synthetic
+benchmark generators produce netlists, the logic simulator executes them, the
+TVLA engine scores their gates, the masking transform rewrites them and the
+POLARIS/VALIANT flows orchestrate all of the above.
+
+The model is deliberately simple and explicit:
+
+* a *net* is a named wire with one driver (a gate output or a primary input)
+  and any number of sinks;
+* a *gate* is an instance of a library cell with an ordered list of input
+  nets and a single output net;
+* primary inputs and outputs are plain net names recorded on the netlist.
+
+Sequential designs are supported through ``DFF`` gates, which the simulator
+treats as edge-triggered registers with a single data input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .cell_library import CellLibrary, DEFAULT_LIBRARY, GateType
+
+
+class NetlistError(Exception):
+    """Raised for structural violations when building or editing a netlist."""
+
+
+@dataclass
+class Gate:
+    """One cell instance in a netlist.
+
+    Attributes:
+        name: Unique instance name within the netlist.
+        gate_type: The library cell implementing this gate.
+        inputs: Ordered input net names.  For masked composite gates the
+            trailing inputs are fresh-randomness nets.
+        output: The net driven by this gate.
+        attributes: Free-form metadata (e.g. ``masked_from`` recorded by the
+            masking transform).
+    """
+
+    name: str
+    gate_type: GateType
+    inputs: List[str] = field(default_factory=list)
+    output: str = ""
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def fanin(self) -> int:
+        """Number of input nets."""
+        return len(self.inputs)
+
+    def copy(self) -> "Gate":
+        """Return a deep copy of this gate."""
+        return Gate(
+            name=self.name,
+            gate_type=self.gate_type,
+            inputs=list(self.inputs),
+            output=self.output,
+            attributes=dict(self.attributes),
+        )
+
+
+class Netlist:
+    """A named collection of gates, nets, and primary ports.
+
+    The class maintains net connectivity incrementally: every
+    :meth:`add_gate` / :meth:`remove_gate` / :meth:`replace_gate` call keeps
+    the driver/sink indices consistent, so queries such as
+    :meth:`fanout_gates` are O(fanout).
+    """
+
+    def __init__(self, name: str, library: Optional[CellLibrary] = None) -> None:
+        self.name = name
+        self.library = library if library is not None else DEFAULT_LIBRARY
+        self._gates: Dict[str, Gate] = {}
+        self._primary_inputs: List[str] = []
+        self._primary_outputs: List[str] = []
+        #: net name -> gate name driving it ("" for primary inputs)
+        self._driver: Dict[str, str] = {}
+        #: net name -> set of gate names reading it
+        self._sinks: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_primary_input(self, net: str) -> None:
+        """Declare ``net`` as a primary input."""
+        if net in self._driver:
+            raise NetlistError(f"net {net!r} already driven; cannot be a primary input")
+        self._primary_inputs.append(net)
+        self._driver[net] = ""
+        self._sinks.setdefault(net, set())
+
+    def add_primary_output(self, net: str) -> None:
+        """Declare ``net`` as a primary output (the net may be driven later)."""
+        if net in self._primary_outputs:
+            raise NetlistError(f"net {net!r} is already a primary output")
+        self._primary_outputs.append(net)
+        self._sinks.setdefault(net, set())
+
+    def add_gate(
+        self,
+        name: str,
+        gate_type: GateType,
+        inputs: Sequence[str],
+        output: str,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Gate:
+        """Create a gate, register its connectivity, and return it.
+
+        Raises:
+            NetlistError: on duplicate gate names, duplicate net drivers, or
+                fan-in exceeding the library cell's limit.
+        """
+        if name in self._gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        if output in self._driver and self._driver[output] != "":
+            raise NetlistError(
+                f"net {output!r} already driven by gate {self._driver[output]!r}"
+            )
+        if output in self._primary_inputs:
+            raise NetlistError(f"net {output!r} is a primary input and cannot be driven")
+        spec = self.library[gate_type]
+        if not gate_type.is_port and spec.max_fanin and len(inputs) > spec.max_fanin:
+            raise NetlistError(
+                f"gate {name!r} of type {gate_type.value} has fan-in {len(inputs)} "
+                f"(library limit {spec.max_fanin})"
+            )
+        gate = Gate(
+            name=name,
+            gate_type=gate_type,
+            inputs=list(inputs),
+            output=output,
+            attributes=dict(attributes) if attributes else {},
+        )
+        self._gates[name] = gate
+        self._driver[output] = name
+        self._sinks.setdefault(output, set())
+        for net in inputs:
+            self._sinks.setdefault(net, set()).add(name)
+        return gate
+
+    def remove_gate(self, name: str) -> Gate:
+        """Remove gate ``name`` and detach its connectivity; return the gate."""
+        if name not in self._gates:
+            raise NetlistError(f"unknown gate {name!r}")
+        gate = self._gates.pop(name)
+        if self._driver.get(gate.output) == name:
+            self._driver[gate.output] = ""
+            if gate.output not in self._primary_inputs:
+                del self._driver[gate.output]
+        for net in gate.inputs:
+            sinks = self._sinks.get(net)
+            if sinks is not None:
+                sinks.discard(name)
+        return gate
+
+    def replace_gate(self, name: str, new_gate: Gate) -> None:
+        """Replace gate ``name`` with ``new_gate`` (which may reuse the name)."""
+        self.remove_gate(name)
+        self.add_gate(
+            new_gate.name,
+            new_gate.gate_type,
+            new_gate.inputs,
+            new_gate.output,
+            new_gate.attributes,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def primary_inputs(self) -> Tuple[str, ...]:
+        """Ordered primary input net names."""
+        return tuple(self._primary_inputs)
+
+    @property
+    def primary_outputs(self) -> Tuple[str, ...]:
+        """Ordered primary output net names."""
+        return tuple(self._primary_outputs)
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """All gates, in insertion order."""
+        return tuple(self._gates.values())
+
+    @property
+    def gate_names(self) -> Tuple[str, ...]:
+        """All gate names, in insertion order."""
+        return tuple(self._gates.keys())
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        """All net names known to the netlist."""
+        names: Set[str] = set(self._driver)
+        names.update(self._sinks)
+        for gate in self._gates.values():
+            names.update(gate.inputs)
+            names.add(gate.output)
+        return tuple(sorted(names))
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __contains__(self, gate_name: str) -> bool:
+        return gate_name in self._gates
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates.values())
+
+    def gate(self, name: str) -> Gate:
+        """Return the gate named ``name``.
+
+        Raises:
+            NetlistError: if the gate does not exist.
+        """
+        try:
+            return self._gates[name]
+        except KeyError as exc:
+            raise NetlistError(f"unknown gate {name!r}") from exc
+
+    def has_net(self, net: str) -> bool:
+        """Whether ``net`` appears anywhere in the netlist."""
+        return net in self._driver or net in self._sinks
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """Return the gate driving ``net``, or ``None`` for primary inputs /
+        undriven nets."""
+        name = self._driver.get(net, "")
+        return self._gates.get(name) if name else None
+
+    def sinks_of(self, net: str) -> Tuple[Gate, ...]:
+        """Return the gates reading ``net``."""
+        return tuple(self._gates[g] for g in sorted(self._sinks.get(net, ())))
+
+    def fanin_gates(self, gate_name: str) -> Tuple[Gate, ...]:
+        """Gates driving the inputs of ``gate_name`` (primary inputs excluded)."""
+        gate = self.gate(gate_name)
+        result = []
+        for net in gate.inputs:
+            drv = self.driver_of(net)
+            if drv is not None:
+                result.append(drv)
+        return tuple(result)
+
+    def fanout_gates(self, gate_name: str) -> Tuple[Gate, ...]:
+        """Gates reading the output of ``gate_name``."""
+        gate = self.gate(gate_name)
+        return self.sinks_of(gate.output)
+
+    def combinational_gates(self) -> Tuple[Gate, ...]:
+        """All non-port, non-sequential gates."""
+        return tuple(g for g in self._gates.values() if g.gate_type.is_combinational)
+
+    def sequential_gates(self) -> Tuple[Gate, ...]:
+        """All flip-flops."""
+        return tuple(g for g in self._gates.values() if g.gate_type.is_sequential)
+
+    def gate_type_counts(self) -> Dict[GateType, int]:
+        """Histogram of gate types present in the netlist."""
+        counts: Dict[GateType, int] = {}
+        for gate in self._gates.values():
+            counts[gate.gate_type] = counts.get(gate.gate_type, 0) + 1
+        return counts
+
+    def undriven_nets(self) -> Tuple[str, ...]:
+        """Nets read by some gate or output port but driven by nothing."""
+        driven = {n for n, d in self._driver.items()}
+        read: Set[str] = set(self._primary_outputs)
+        for gate in self._gates.values():
+            read.update(gate.inputs)
+        return tuple(sorted(read - driven))
+
+    def dangling_nets(self) -> Tuple[str, ...]:
+        """Nets driven by a gate but read by nothing (and not primary outputs)."""
+        read: Set[str] = set(self._primary_outputs)
+        for gate in self._gates.values():
+            read.update(gate.inputs)
+        driven = {g.output for g in self._gates.values()}
+        return tuple(sorted(driven - read))
+
+    # ------------------------------------------------------------------
+    # Transformation helpers
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Return an independent deep copy, optionally renamed."""
+        clone = Netlist(name if name is not None else self.name, self.library)
+        for net in self._primary_inputs:
+            clone.add_primary_input(net)
+        for net in self._primary_outputs:
+            clone.add_primary_output(net)
+        for gate in self._gates.values():
+            clone.add_gate(gate.name, gate.gate_type, gate.inputs, gate.output,
+                           gate.attributes)
+        return clone
+
+    def fresh_net_name(self, prefix: str = "n") -> str:
+        """Return a net name not yet used in the netlist."""
+        index = len(self._driver) + len(self._sinks)
+        while True:
+            candidate = f"{prefix}_{index}"
+            if not self.has_net(candidate):
+                return candidate
+            index += 1
+
+    def fresh_gate_name(self, prefix: str = "g") -> str:
+        """Return a gate name not yet used in the netlist."""
+        index = len(self._gates)
+        while True:
+            candidate = f"{prefix}_{index}"
+            if candidate not in self._gates:
+                return candidate
+            index += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Summary statistics used by reports and examples."""
+        counts = self.gate_type_counts()
+        return {
+            "name": self.name,
+            "gates": len(self._gates),
+            "primary_inputs": len(self._primary_inputs),
+            "primary_outputs": len(self._primary_outputs),
+            "flip_flops": sum(c for t, c in counts.items() if t.is_sequential),
+            "maskable_gates": sum(
+                c for t, c in counts.items() if self.library.is_maskable(t)
+            ),
+            "gate_type_counts": {t.value: c for t, c in sorted(counts.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist(name={self.name!r}, gates={len(self._gates)}, "
+            f"pis={len(self._primary_inputs)}, pos={len(self._primary_outputs)})"
+        )

@@ -1,0 +1,38 @@
+"""Writer emitting netlists back to the BENCH-style text format.
+
+The writer is the inverse of :mod:`repro.netlist.parser`; the round-trip
+``parse(write(netlist))`` reproduces the same connectivity (gate instance
+names are canonicalised to ``g_<output-net>`` by the parser, so structural
+rather than nominal equality is the preserved invariant).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from .netlist import Netlist
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialise ``netlist`` to BENCH text."""
+    lines = [f"# name: {netlist.name}", f"# gates: {len(netlist)}"]
+    for net in netlist.primary_inputs:
+        lines.append(f"INPUT({net})")
+    for net in netlist.primary_outputs:
+        lines.append(f"OUTPUT({net})")
+    lines.append("")
+    for gate in netlist.gates:
+        if gate.gate_type.is_port:
+            continue
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gate_type.value}({args})")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_bench_file(netlist: Netlist, path: Union[str, Path]) -> Path:
+    """Write ``netlist`` to ``path`` in BENCH format and return the path."""
+    path = Path(path)
+    path.write_text(write_bench(netlist))
+    return path

@@ -1,0 +1,23 @@
+"""Power modelling: per-gate traces, noise, and area/power/delay analysis."""
+
+from .model import GatePowerModel, PowerModelConfig
+from .traces import PowerTraceGenerator, PowerTraces
+from .overhead import (
+    DEFAULT_ACTIVITY,
+    DesignMetrics,
+    analyze_design,
+    critical_path_delay,
+    overhead_report,
+)
+
+__all__ = [
+    "GatePowerModel",
+    "PowerModelConfig",
+    "PowerTraceGenerator",
+    "PowerTraces",
+    "DEFAULT_ACTIVITY",
+    "DesignMetrics",
+    "analyze_design",
+    "critical_path_delay",
+    "overhead_report",
+]

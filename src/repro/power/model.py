@@ -1,0 +1,275 @@
+"""Per-gate dynamic power models.
+
+The paper measures leakage from gate-level power traces obtained with an
+ASIC simulation flow.  This module provides the offline substitute: a
+Hamming-distance (toggle) power model in which a gate contributes its
+library switching energy whenever its output toggles between the previous
+and the current stimulus of a trace.
+
+Masked composite cells are treated specially: their power is computed from
+the toggles of the *internal masked shares* of the Trichina construction
+(paper Eq. 5) or of the DOM construction, using fresh per-trace randomness.
+Because those internal signals are (re-)masked with fresh random bits, their
+switching is largely independent of the processed data, which is exactly the
+mechanism by which masking reduces power side-channel leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.cell_library import CellLibrary, DEFAULT_LIBRARY, GateType
+from ..netlist.netlist import Gate
+
+
+@dataclass(frozen=True)
+class PowerModelConfig:
+    """Configuration of the dynamic power model.
+
+    Attributes:
+        noise_sigma: Standard deviation of additive Gaussian measurement
+            noise, expressed as a fraction of a NAND gate's switching energy.
+        glitch_factor: Multiplier > 1 modelling extra glitch activity on
+            gates with large fan-in cones (applied per fan-in beyond 2).
+        static_fraction: Fraction of the cell's switching energy added to
+            every trace regardless of toggling (static/short-circuit floor).
+        mask_refresh: Whether masked cells draw fresh randomness every trace
+            (True, the secure behaviour) or reuse one mask (False, a faulty
+            masking implementation useful for negative testing).
+        masked_residual: Residual data-dependent leakage of a masked cell,
+            as a fraction of the replaced primitive's switching energy.  The
+            masked composite's *data input pins* still carry unmasked
+            signals (the transform masks gates, not wires), so their
+            transitions — and the glitches they induce — remain visible in
+            the power trace.  This is the well-known first-order glitch
+            leakage of Trichina-style gates, and it is what makes *where*
+            a masking gate is inserted matter: the benefit of masking a gate
+            depends on the activity of its local neighbourhood, which is the
+            structural signal POLARIS learns.  Values slightly above 1
+            model glitch amplification inside the composite (its four AND
+            gates all toggle on an unmasked input transition), so a *badly
+            placed* masked gate can leak as much as the primitive it
+            replaced.
+        valiant_residual: Residual factor applied to cells whose
+            ``protection_style`` attribute is ``"valiant"``.  The VALIANT
+            baseline's gate-level countermeasures retain more data-dependent
+            activity per protected gate than the Trichina composite,
+            reflecting the relative per-gate leakage the paper reports for
+            the two flows (Table II); an ablation bench sets the two
+            residuals equal to show the flows then converge.
+        masked_glitch_base: Baseline multiplier of the residual glitch
+            leakage for masked cells whose drivers produce few glitches
+            (AND/OR-dominated fan-in, primary inputs).
+        masked_glitch_xor: Additional residual multiplier per unit fraction
+            of XOR/XNOR drivers.  XOR-type drivers propagate every input
+            transition (transition probability 1 per toggling input), so a
+            masked composite fed by XOR logic sees far more glitching on its
+            unmasked input pins than one fed by attenuating AND/OR logic.
+            This is the structural effect that makes *where* a masking gate
+            is placed matter, and therefore what the POLARIS model learns.
+        load_factor: Additional switching energy per fan-out connection of
+            an *unmasked* gate (interconnect/load capacitance).  High
+            fan-out gates therefore dominate a design's leakage — and
+            because a masked composite re-randomises its output with the
+            fresh mask, that load switching stops being data-dependent once
+            the gate is masked, making high-fan-out gates the most valuable
+            masking targets.
+    """
+
+    noise_sigma: float = 1.8
+    glitch_factor: float = 0.15
+    static_fraction: float = 0.05
+    mask_refresh: bool = True
+    masked_residual: float = 1.15
+    valiant_residual: float = 2.30
+    masked_glitch_base: float = 0.55
+    masked_glitch_xor: float = 1.30
+    load_factor: float = 0.70
+
+
+class GatePowerModel:
+    """Computes per-trace power for a single gate.
+
+    The model is deliberately stateless across gates; the trace generator
+    (:mod:`repro.power.traces`) instantiates it once and reuses it.
+    """
+
+    def __init__(self, library: Optional[CellLibrary] = None,
+                 config: Optional[PowerModelConfig] = None,
+                 seed: int = 0) -> None:
+        self.library = library if library is not None else DEFAULT_LIBRARY
+        self.config = config if config is not None else PowerModelConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def unmasked_power(self, gate: Gate, toggled: np.ndarray,
+                       fanout: int = 1) -> np.ndarray:
+        """Power of an ordinary cell: energy on toggle plus static floor.
+
+        Args:
+            gate: The gate instance.
+            toggled: Boolean array (n_traces,) of output toggles.
+            fanout: Number of sinks the gate drives; every extra load adds
+                ``load_factor`` times the cell energy to each output toggle.
+
+        Returns:
+            Float array (n_traces,) of noiseless power samples.
+        """
+        energy = self.library.switching_energy(gate.gate_type, gate.fanin)
+        glitch = 1.0 + self.config.glitch_factor * max(0, gate.fanin - 2)
+        load = 1.0 + self.config.load_factor * max(0, fanout - 1)
+        dynamic = energy * glitch * load * toggled.astype(float)
+        static = self.config.static_fraction * energy
+        return dynamic + static
+
+    def masked_power(
+        self,
+        gate: Gate,
+        data_prev: Tuple[np.ndarray, np.ndarray],
+        data_cur: Tuple[np.ndarray, np.ndarray],
+        glitch_input_factor: float = 1.0,
+    ) -> np.ndarray:
+        """Power of a masked composite cell from its internal share toggles.
+
+        Args:
+            gate: The masked gate instance.
+            data_prev: Tuple of the two data inputs' values in the previous
+                stimulus (boolean arrays of shape (n_traces,)).
+            data_cur: Same for the current stimulus.
+            glitch_input_factor: Multiplier on the residual data-dependent
+                leakage reflecting how glitchy the gate's fan-in cone is
+                (computed by the trace generator from the driver gate types
+                via :meth:`input_glitch_factor`).
+
+        Returns:
+            Float array (n_traces,) of noiseless power samples.
+        """
+        a_prev, b_prev = data_prev
+        a_cur, b_cur = data_cur
+        n_traces = a_cur.shape[0]
+        nodes_prev = self._masked_internal_nodes(gate.gate_type, a_prev, b_prev,
+                                                 n_traces)
+        if self.config.mask_refresh:
+            nodes_cur = self._masked_internal_nodes(gate.gate_type, a_cur, b_cur,
+                                                    n_traces)
+        else:
+            # Faulty masking: reuse the previous masks, so the shares track
+            # the data and leakage persists (used by negative tests).
+            nodes_cur = self._masked_internal_nodes(
+                gate.gate_type, a_cur, b_cur, n_traces, reuse_last_masks=True)
+        toggles = np.zeros(n_traces, dtype=float)
+        for name in nodes_cur:
+            toggles += np.logical_xor(nodes_prev[name], nodes_cur[name]).astype(float)
+        total_energy = self.library.switching_energy(gate.gate_type, gate.fanin)
+        per_node_energy = total_energy / max(1, len(nodes_cur))
+        static = self.config.static_fraction * total_energy
+
+        # Residual first-order leakage: the composite's data input pins carry
+        # unmasked values, so their transitions (and the glitches they feed
+        # into the masked core) remain data dependent.
+        style = str(gate.attributes.get("protection_style", "trichina"))
+        residual_factor = (self.config.valiant_residual if style == "valiant"
+                           else self.config.masked_residual)
+        residual = np.zeros(n_traces, dtype=float)
+        if residual_factor > 0:
+            original = gate.attributes.get("masked_from")
+            try:
+                original_type = GateType(original) if original else GateType.NAND
+            except ValueError:
+                original_type = GateType.NAND
+            original_energy = self.library.switching_energy(original_type, 2)
+            input_toggles = (
+                np.logical_xor(a_prev, a_cur).astype(float)
+                + np.logical_xor(b_prev, b_cur).astype(float)
+            ) / 2.0
+            residual = (residual_factor * glitch_input_factor
+                        * original_energy * input_toggles)
+
+        return per_node_energy * toggles + residual + static
+
+    def input_glitch_factor(self, xor_driver_fraction: float) -> float:
+        """Residual-leakage multiplier for a masked cell's fan-in glitchiness.
+
+        Args:
+            xor_driver_fraction: Fraction of the cell's data inputs driven
+                by XOR/XNOR gates (in [0, 1]).
+        """
+        fraction = float(np.clip(xor_driver_fraction, 0.0, 1.0))
+        return self.config.masked_glitch_base + self.config.masked_glitch_xor * fraction
+
+    def add_noise(self, power: np.ndarray) -> np.ndarray:
+        """Add Gaussian measurement noise to a power sample array."""
+        if self.config.noise_sigma <= 0:
+            return power
+        reference = self.library.switching_energy(GateType.NAND)
+        sigma = self.config.noise_sigma * reference
+        return power + self._rng.normal(0.0, sigma, size=power.shape)
+
+    # ------------------------------------------------------------------
+    def _masked_internal_nodes(
+        self,
+        gate_type: GateType,
+        a: np.ndarray,
+        b: np.ndarray,
+        n_traces: int,
+        reuse_last_masks: bool = False,
+    ) -> Dict[str, np.ndarray]:
+        """Internal signal values of the masked composite for one stimulus.
+
+        For the Trichina masked AND (Eq. 5 of the paper) with input masks
+        ``x``/``y`` and output mask ``z``::
+
+            a_hat = a ^ x            b_hat = b ^ y
+            t1 = a_hat & b_hat       t2 = x & b_hat
+            t3 = x & y               t4 = t3 ^ z
+            t5 = t2 ^ t4             t6 = t1 ^ t5
+            t7 = y & a_hat           out = t6 ^ t7   (= (a & b) ^ z)
+
+        OR is computed via De Morgan on the masked AND; XOR is share-wise.
+        DOM uses the same share structure plus a register stage (modelled as
+        two additional internal nodes).
+        """
+        if reuse_last_masks and hasattr(self, "_last_masks"):
+            x, y, z = self._last_masks  # type: ignore[attr-defined]
+        else:
+            x = self._rng.integers(0, 2, size=n_traces, dtype=np.uint8).astype(bool)
+            y = self._rng.integers(0, 2, size=n_traces, dtype=np.uint8).astype(bool)
+            z = self._rng.integers(0, 2, size=n_traces, dtype=np.uint8).astype(bool)
+            self._last_masks = (x, y, z)
+
+        if gate_type is GateType.MASKED_XOR:
+            a_hat = np.logical_xor(a, x)
+            b_hat = np.logical_xor(b, y)
+            out_share = np.logical_xor(a_hat, b_hat)
+            mask_share = np.logical_xor(x, y)
+            return {"a_hat": a_hat, "b_hat": b_hat,
+                    "out_share": out_share, "mask_share": mask_share}
+
+        if gate_type is GateType.MASKED_OR:
+            # OR(a, b) = NOT(AND(NOT a, NOT b)); masked by complementing the
+            # data shares, which keeps the same internal node structure.
+            a = np.logical_not(a)
+            b = np.logical_not(b)
+
+        a_hat = np.logical_xor(a, x)
+        b_hat = np.logical_xor(b, y)
+        t1 = np.logical_and(a_hat, b_hat)
+        t2 = np.logical_and(x, b_hat)
+        t3 = np.logical_and(x, y)
+        t4 = np.logical_xor(t3, z)
+        t5 = np.logical_xor(t2, t4)
+        t6 = np.logical_xor(t1, t5)
+        t7 = np.logical_and(y, a_hat)
+        out = np.logical_xor(t6, t7)
+        nodes = {
+            "a_hat": a_hat, "b_hat": b_hat, "t1": t1, "t2": t2, "t3": t3,
+            "t4": t4, "t5": t5, "t6": t6, "t7": t7, "out": out,
+        }
+        if gate_type is GateType.MASKED_AND_DOM:
+            # DOM adds a register stage on the cross-domain terms.
+            nodes["reg_t2"] = t2.copy()
+            nodes["reg_t7"] = t7.copy()
+        return nodes

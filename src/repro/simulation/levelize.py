@@ -1,0 +1,55 @@
+"""Levelisation: topological ordering of a netlist's combinational gates.
+
+The simulator evaluates gates level by level; flip-flop outputs and primary
+inputs form level 0, and every combinational gate is placed after all of its
+drivers.  The ordering is computed once per netlist and reused across all
+simulation batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from ..netlist.graph import combinational_graph
+from ..netlist.netlist import Netlist
+
+
+class LevelizationError(Exception):
+    """Raised when a netlist cannot be levelised (combinational loops)."""
+
+
+def topological_gate_order(netlist: Netlist) -> List[str]:
+    """Return combinational gate names in dependency order.
+
+    Raises:
+        LevelizationError: if the combinational portion contains a cycle.
+    """
+    dag = combinational_graph(netlist)
+    try:
+        order = list(nx.topological_sort(dag))
+    except nx.NetworkXUnfeasible as exc:
+        raise LevelizationError(
+            f"netlist {netlist.name!r} has a combinational loop"
+        ) from exc
+    return [name for name in order if name in netlist]
+
+
+def gate_levels(netlist: Netlist) -> Dict[str, int]:
+    """Map each combinational gate to its logic level (1 = fed by sources)."""
+    dag = combinational_graph(netlist)
+    levels: Dict[str, int] = {}
+    for name in topological_gate_order(netlist):
+        preds = [p for p in dag.predecessors(name)]
+        levels[name] = 1 + max((levels.get(p, 0) for p in preds), default=0)
+    return levels
+
+
+def level_groups(netlist: Netlist) -> List[Tuple[int, List[str]]]:
+    """Group combinational gates by level, sorted by level ascending."""
+    levels = gate_levels(netlist)
+    grouped: Dict[int, List[str]] = {}
+    for name, level in levels.items():
+        grouped.setdefault(level, []).append(name)
+    return [(level, sorted(names)) for level, names in sorted(grouped.items())]

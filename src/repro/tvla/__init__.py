@@ -1,0 +1,29 @@
+"""Test Vector Leakage Assessment (TVLA) engine."""
+
+from .moments import OnePassMoments
+from .welch import (
+    TVLA_THRESHOLD,
+    WelchResult,
+    welch_from_accumulators,
+    welch_from_moments,
+    welch_t_test,
+)
+from .assessment import (
+    LeakageAssessment,
+    TvlaConfig,
+    assess_leakage,
+    compare_assessments,
+)
+
+__all__ = [
+    "OnePassMoments",
+    "TVLA_THRESHOLD",
+    "WelchResult",
+    "welch_from_accumulators",
+    "welch_from_moments",
+    "welch_t_test",
+    "LeakageAssessment",
+    "TvlaConfig",
+    "assess_leakage",
+    "compare_assessments",
+]

@@ -1,0 +1,176 @@
+"""One-pass (incremental) raw and central moment computation.
+
+The paper (§II-A, citing Schneider & Moradi) notes that naive TVLA is slow
+because mean and variance require two passes over the traces; the remedy is
+an online accumulator that updates the raw moment ``M1`` and central sums as
+each trace ``y`` arrives::
+
+    M1' = M1 + delta / n,      delta = y - M1
+    mu  = M1,                  s^2 = CM2 = M2 - M1^2
+
+This module implements that accumulator up to fourth-order central moments
+(Welford / Pébay update formulas), vectorised so one accumulator tracks all
+gates of a design simultaneously.  Higher-order moments enable the
+higher-order TVLA variants discussed by Schneider & Moradi.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class OnePassMoments:
+    """Streaming estimator of mean, variance, skewness and kurtosis.
+
+    The accumulator accepts scalar samples or vectors of samples (one entry
+    per gate / trace point); all entries are updated in parallel in a single
+    pass, matching the acquisition-time computation advocated by the paper.
+
+    Args:
+        max_order: Highest central-moment order to track (2, 3 or 4).
+        shape: Shape of each incoming sample (``()`` for scalars).
+    """
+
+    def __init__(self, max_order: int = 2, shape: Tuple[int, ...] = ()) -> None:
+        if max_order not in (2, 3, 4):
+            raise ValueError("max_order must be 2, 3 or 4")
+        self.max_order = max_order
+        self.shape = tuple(shape)
+        self.count = 0
+        self._mean = np.zeros(self.shape, dtype=float)
+        self._m2 = np.zeros(self.shape, dtype=float)
+        self._m3 = np.zeros(self.shape, dtype=float)
+        self._m4 = np.zeros(self.shape, dtype=float)
+
+    # ------------------------------------------------------------------
+    def update(self, sample: ArrayLike) -> None:
+        """Fold one sample (scalar or array of ``shape``) into the moments."""
+        sample = np.asarray(sample, dtype=float)
+        if sample.shape != self.shape:
+            raise ValueError(
+                f"sample shape {sample.shape} does not match accumulator "
+                f"shape {self.shape}"
+            )
+        n1 = self.count
+        self.count += 1
+        n = self.count
+        delta = sample - self._mean
+        delta_n = delta / n
+        delta_n2 = delta_n * delta_n
+        term1 = delta * delta_n * n1
+        self._mean = self._mean + delta_n
+        if self.max_order >= 4:
+            self._m4 = (self._m4
+                        + term1 * delta_n2 * (n * n - 3 * n + 3)
+                        + 6.0 * delta_n2 * self._m2
+                        - 4.0 * delta_n * self._m3)
+        if self.max_order >= 3:
+            self._m3 = (self._m3
+                        + term1 * delta_n * (n - 2)
+                        - 3.0 * delta_n * self._m2)
+        self._m2 = self._m2 + term1
+
+    def update_batch(self, samples: np.ndarray) -> None:
+        """Fold a batch of samples (first axis indexes the samples)."""
+        samples = np.asarray(samples, dtype=float)
+        for sample in samples:
+            self.update(sample)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> np.ndarray:
+        """First raw moment (sample mean)."""
+        return self._mean.copy()
+
+    def central_moment(self, order: int) -> np.ndarray:
+        """Biased central moment ``CM_order`` (central sum / n)."""
+        if self.count == 0:
+            return np.zeros(self.shape, dtype=float)
+        if order == 1:
+            return np.zeros(self.shape, dtype=float)
+        if order == 2:
+            return self._m2 / self.count
+        if order == 3 and self.max_order >= 3:
+            return self._m3 / self.count
+        if order == 4 and self.max_order >= 4:
+            return self._m4 / self.count
+        raise ValueError(f"order {order} not tracked (max {self.max_order})")
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Unbiased sample variance (``n - 1`` denominator)."""
+        if self.count < 2:
+            return np.zeros(self.shape, dtype=float)
+        return self._m2 / (self.count - 1)
+
+    @property
+    def standard_deviation(self) -> np.ndarray:
+        """Unbiased sample standard deviation."""
+        return np.sqrt(self.variance)
+
+    def skewness(self) -> np.ndarray:
+        """Standardised third central moment (0 where variance is 0)."""
+        if self.max_order < 3:
+            raise ValueError("accumulator was not configured for order 3")
+        cm2 = self.central_moment(2)
+        cm3 = self.central_moment(3)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.where(cm2 > 0, cm3 / np.power(np.maximum(cm2, 1e-300), 1.5),
+                              0.0)
+        return result
+
+    def kurtosis(self) -> np.ndarray:
+        """Standardised fourth central moment (0 where variance is 0)."""
+        if self.max_order < 4:
+            raise ValueError("accumulator was not configured for order 4")
+        cm2 = self.central_moment(2)
+        cm4 = self.central_moment(4)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.where(cm2 > 0, cm4 / np.power(np.maximum(cm2, 1e-300), 2.0),
+                              0.0)
+        return result
+
+    def merge(self, other: "OnePassMoments") -> "OnePassMoments":
+        """Return an accumulator equivalent to having seen both streams.
+
+        Mean and second/third/fourth central sums are combined with the exact
+        pairwise (Chan et al. / Pébay) formulas, so merging partial TVLA
+        acquisitions is lossless.
+        """
+        if self.shape != other.shape or self.max_order != other.max_order:
+            raise ValueError("cannot merge accumulators with different config")
+        merged = OnePassMoments(self.max_order, self.shape)
+        n_a, n_b = self.count, other.count
+        n = n_a + n_b
+        merged.count = n
+        if n == 0:
+            return merged
+        if n_a == 0:
+            merged._mean = other._mean.copy()
+            merged._m2 = other._m2.copy()
+            merged._m3 = other._m3.copy()
+            merged._m4 = other._m4.copy()
+            return merged
+        if n_b == 0:
+            merged._mean = self._mean.copy()
+            merged._m2 = self._m2.copy()
+            merged._m3 = self._m3.copy()
+            merged._m4 = self._m4.copy()
+            return merged
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * (n_b / n)
+        merged._m2 = self._m2 + other._m2 + delta ** 2 * n_a * n_b / n
+        merged._m3 = (self._m3 + other._m3
+                      + delta ** 3 * n_a * n_b * (n_a - n_b) / n ** 2
+                      + 3.0 * delta * (n_a * other._m2 - n_b * self._m2) / n)
+        merged._m4 = (self._m4 + other._m4
+                      + delta ** 4 * n_a * n_b * (n_a ** 2 - n_a * n_b + n_b ** 2)
+                      / n ** 3
+                      + 6.0 * delta ** 2 * (n_a ** 2 * other._m2
+                                            + n_b ** 2 * self._m2) / n ** 2
+                      + 4.0 * delta * (n_a * other._m3 - n_b * self._m3) / n)
+        return merged

@@ -1,0 +1,26 @@
+"""Explainable-AI substrate: SHAP explainers, explanations and rules."""
+
+from .explain import (
+    Explanation,
+    GlobalImportance,
+    Waterfall,
+    WaterfallStep,
+    summarize_explanations,
+)
+from .kernel_shap import KernelShapExplainer
+from .tree_shap import TreeShapExplainer
+from .rules import MaskingRule, RuleCondition, RuleExtractor, RuleSet
+
+__all__ = [
+    "Explanation",
+    "GlobalImportance",
+    "Waterfall",
+    "WaterfallStep",
+    "summarize_explanations",
+    "KernelShapExplainer",
+    "TreeShapExplainer",
+    "MaskingRule",
+    "RuleCondition",
+    "RuleExtractor",
+    "RuleSet",
+]

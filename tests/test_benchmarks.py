@@ -1,0 +1,68 @@
+"""Tests for the named benchmark registry."""
+
+import pytest
+
+from repro.netlist import (
+    EVALUATION_SUITE,
+    TRAINING_SUITE,
+    benchmark_spec,
+    list_benchmarks,
+    load_benchmark,
+    validate_netlist,
+)
+
+
+class TestRegistry:
+    def test_suites_match_paper_design_lists(self):
+        assert set(EVALUATION_SUITE) == {
+            "des3", "arbiter", "sin", "md5", "voter", "square", "sqrt",
+            "div", "memctrl", "multiplier", "log2",
+        }
+        assert len(TRAINING_SUITE) == 6
+        assert all(name.startswith("c") for name in TRAINING_SUITE)
+
+    def test_list_benchmarks_filtering(self):
+        all_specs = list_benchmarks()
+        training = list_benchmarks("training")
+        evaluation = list_benchmarks("evaluation")
+        assert len(all_specs) == len(training) + len(evaluation)
+        assert all(s.suite == "training" for s in training)
+        assert all(s.suite == "evaluation" for s in evaluation)
+
+    def test_benchmark_spec_lookup(self):
+        spec = benchmark_spec("des3")
+        assert spec.suite == "evaluation"
+        assert spec.profile == "crypto"
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark_spec("nonexistent")
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", list(TRAINING_SUITE) + list(EVALUATION_SUITE))
+    def test_every_benchmark_builds_and_validates(self, name):
+        netlist = load_benchmark(name, scale=0.25, seed=7)
+        assert netlist.name == name
+        assert len(netlist) >= 20
+        report = validate_netlist(netlist)
+        assert report.is_valid, report.errors
+
+    def test_deterministic_for_same_seed(self):
+        first = load_benchmark("voter", scale=0.3, seed=11)
+        second = load_benchmark("voter", scale=0.3, seed=11)
+        assert len(first) == len(second)
+        assert [g.name for g in first.gates] == [g.name for g in second.gates]
+
+    def test_scale_changes_size(self):
+        small = load_benchmark("log2", scale=0.2)
+        large = load_benchmark("log2", scale=0.5)
+        assert len(large) > len(small)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_benchmark("des3", scale=0.0)
+
+    def test_largest_evaluation_design_is_log2(self):
+        sizes = {name: len(load_benchmark(name, scale=0.3))
+                 for name in ("des3", "arbiter", "log2")}
+        assert sizes["log2"] > sizes["arbiter"]
+        assert sizes["log2"] > sizes["des3"]

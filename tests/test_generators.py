@@ -1,0 +1,148 @@
+"""Tests for the synthetic circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    GateType,
+    RandomLogicSpec,
+    generate_array_multiplier,
+    generate_mux_tree,
+    generate_parity_tree,
+    generate_random_logic,
+    generate_ripple_adder,
+    generate_sbox_logic,
+    merge_netlists,
+    validate_netlist,
+)
+from repro.simulation import simulate
+
+
+def _single_vector(netlist, bits):
+    """Build a one-row stimulus dict from a {net: bool} mapping."""
+    return {net: np.array([bool(value)]) for net, value in bits.items()}
+
+
+class TestRandomLogic:
+    def test_gate_count_and_validity(self):
+        spec = RandomLogicSpec(n_gates=80, n_inputs=12, n_outputs=6, seed=3)
+        netlist = generate_random_logic(spec)
+        assert len(netlist) == 80
+        assert validate_netlist(netlist).is_valid
+
+    def test_determinism(self):
+        spec = RandomLogicSpec(n_gates=40, seed=9)
+        first = generate_random_logic(spec)
+        second = generate_random_logic(spec)
+        assert [g.gate_type for g in first.gates] == [g.gate_type for g in second.gates]
+        assert [g.inputs for g in first.gates] == [g.inputs for g in second.gates]
+
+    def test_different_seeds_differ(self):
+        a = generate_random_logic(RandomLogicSpec(n_gates=40, seed=1))
+        b = generate_random_logic(RandomLogicSpec(n_gates=40, seed=2))
+        assert [g.inputs for g in a.gates] != [g.inputs for g in b.gates]
+
+    def test_register_fraction_creates_dffs(self):
+        spec = RandomLogicSpec(n_gates=60, register_fraction=0.2, seed=5)
+        netlist = generate_random_logic(spec)
+        assert len(netlist.sequential_gates()) > 0
+        assert validate_netlist(netlist).is_valid
+
+    def test_profile_affects_type_mix(self):
+        crypto = generate_random_logic(
+            RandomLogicSpec(n_gates=300, profile="crypto", seed=1))
+        control = generate_random_logic(
+            RandomLogicSpec(n_gates=300, profile="control", seed=1))
+        crypto_xor = crypto.gate_type_counts().get(GateType.XOR, 0)
+        control_xor = control.gate_type_counts().get(GateType.XOR, 0)
+        assert crypto_xor > control_xor
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generate_random_logic(RandomLogicSpec(n_gates=0))
+        with pytest.raises(ValueError):
+            generate_random_logic(RandomLogicSpec(n_gates=10, n_inputs=1))
+        with pytest.raises(ValueError):
+            generate_random_logic(RandomLogicSpec(n_gates=10, profile="bogus"))
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 9), (15, 15), (6, 11)])
+    def test_addition_is_correct(self, a, b):
+        width = 4
+        netlist = generate_ripple_adder(width)
+        bits = {}
+        for i in range(width):
+            bits[f"a_{i}"] = (a >> i) & 1
+            bits[f"b_{i}"] = (b >> i) & 1
+        result = simulate(netlist, _single_vector(netlist, bits))
+        outputs = netlist.primary_outputs
+        value = 0
+        for position, net in enumerate(outputs):
+            value |= int(result.net_values[net][0]) << position
+        assert value == a + b
+
+    def test_structure_valid(self):
+        assert validate_netlist(generate_ripple_adder(8)).is_valid
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("a,b", [(0, 5), (3, 3), (7, 6), (15, 13), (9, 11)])
+    def test_multiplication_is_correct(self, a, b):
+        width = 4
+        netlist = generate_array_multiplier(width)
+        bits = {}
+        for i in range(width):
+            bits[f"a_{i}"] = (a >> i) & 1
+            bits[f"b_{i}"] = (b >> i) & 1
+        result = simulate(netlist, _single_vector(netlist, bits))
+        value = 0
+        for position, net in enumerate(netlist.primary_outputs):
+            value |= int(result.net_values[net][0]) << position
+        assert value == a * b
+
+    def test_structure_valid(self):
+        assert validate_netlist(generate_array_multiplier(6)).is_valid
+
+
+class TestParityAndMux:
+    def test_parity_tree_computes_parity(self, rng):
+        width = 9
+        netlist = generate_parity_tree(width)
+        vector = rng.integers(0, 2, size=width)
+        bits = {f"in_{i}": int(vector[i]) for i in range(width)}
+        result = simulate(netlist, _single_vector(netlist, bits))
+        out = netlist.primary_outputs[0]
+        assert int(result.net_values[out][0]) == int(vector.sum() % 2)
+
+    def test_mux_tree_selects_correct_input(self, rng):
+        select_bits = 3
+        netlist = generate_mux_tree(select_bits)
+        data = rng.integers(0, 2, size=2 ** select_bits)
+        select = 5
+        bits = {f"d_{i}": int(data[i]) for i in range(2 ** select_bits)}
+        for i in range(select_bits):
+            bits[f"s_{i}"] = (select >> i) & 1
+        result = simulate(netlist, _single_vector(netlist, bits))
+        out = netlist.primary_outputs[0]
+        assert int(result.net_values[out][0]) == int(data[select])
+
+
+class TestSboxAndMerge:
+    def test_sbox_valid_and_nonconstant(self, rng):
+        netlist = generate_sbox_logic(6, 4, seed=2)
+        assert validate_netlist(netlist).is_valid
+        matrix = rng.integers(0, 2, size=(32, 6)).astype(bool)
+        stimulus = {f"x_{i}": matrix[:, i] for i in range(6)}
+        result = simulate(netlist, stimulus)
+        for net in netlist.primary_outputs:
+            values = result.net_values[net]
+            assert 0 < values.sum() < len(values)  # not stuck at 0 or 1
+
+    def test_merge_netlists_connects_parts(self):
+        parts = [generate_parity_tree(4, name="p0"),
+                 generate_ripple_adder(3, name="add")]
+        merged = merge_netlists("merged", parts, stitch_seed=1)
+        assert validate_netlist(merged).is_valid
+        assert len(merged) >= sum(len(p) for p in parts)
+        assert len(merged.primary_inputs) == sum(len(p.primary_inputs) for p in parts)

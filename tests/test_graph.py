@@ -1,0 +1,87 @@
+"""Tests for the graph view of netlists."""
+
+import networkx as nx
+
+from repro.netlist import (
+    combinational_graph,
+    fanout_histogram,
+    logic_depth,
+    neighborhood,
+    netlist_to_graph,
+)
+
+
+class TestNetlistToGraph:
+    def test_nodes_and_edges(self, tiny_netlist):
+        graph = netlist_to_graph(tiny_netlist, include_ports=False)
+        assert set(graph.nodes) == {g.name for g in tiny_netlist.gates}
+        assert graph.has_edge("g_and", "g_xor")
+        assert graph.has_edge("g_xor", "g_nand")
+        assert not graph.has_edge("g_not", "g_and")
+
+    def test_port_pseudo_nodes(self, tiny_netlist):
+        graph = netlist_to_graph(tiny_netlist, include_ports=True)
+        assert "PI:a" in graph
+        assert "PO:y" in graph
+        assert graph.has_edge("PI:a", "g_and")
+        assert graph.has_edge("g_not", "PO:y")
+
+    def test_node_attributes(self, tiny_netlist):
+        graph = netlist_to_graph(tiny_netlist, include_ports=False)
+        assert graph.nodes["g_and"]["gate_type"] == "AND"
+        assert graph.nodes["g_and"]["fanin"] == 2
+
+    def test_edge_net_annotation(self, tiny_netlist):
+        graph = netlist_to_graph(tiny_netlist, include_ports=False)
+        assert graph.edges["g_and", "g_xor"]["net"] == "n1"
+
+
+class TestCombinationalGraph:
+    def test_is_dag_for_combinational_design(self, tiny_netlist):
+        dag = combinational_graph(tiny_netlist)
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_sequential_elements_removed(self, sequential_netlist):
+        dag = combinational_graph(sequential_netlist)
+        assert "ff" not in dag
+        assert nx.is_directed_acyclic_graph(dag)
+
+
+class TestNeighborhood:
+    def test_returns_requested_count(self, tiny_netlist):
+        graph = netlist_to_graph(tiny_netlist, include_ports=False)
+        near = neighborhood(graph, "g_xor", 3)
+        assert len(near) == 3
+        assert "g_xor" not in near
+
+    def test_small_graph_returns_fewer(self, tiny_netlist):
+        graph = netlist_to_graph(tiny_netlist, include_ports=False)
+        near = neighborhood(graph, "g_xor", 50)
+        assert set(near) == {"g_and", "g_or", "g_nand", "g_not"}
+
+    def test_immediate_neighbours_come_first(self, tiny_netlist):
+        graph = netlist_to_graph(tiny_netlist, include_ports=False)
+        near = neighborhood(graph, "g_and", 2)
+        assert set(near) <= {"g_xor", "g_nand"}
+
+    def test_unknown_gate_raises(self, tiny_netlist):
+        graph = netlist_to_graph(tiny_netlist, include_ports=False)
+        try:
+            neighborhood(graph, "missing", 2)
+            assert False, "expected KeyError"
+        except KeyError:
+            pass
+
+
+class TestMetrics:
+    def test_logic_depth(self, tiny_netlist):
+        # a/b -> g_and -> g_xor -> g_nand -> g_not is the longest chain.
+        assert logic_depth(tiny_netlist) == 4
+
+    def test_logic_depth_random(self, random_netlist):
+        assert logic_depth(random_netlist) >= 2
+
+    def test_fanout_histogram_totals(self, tiny_netlist):
+        histogram = fanout_histogram(tiny_netlist)
+        assert sum(histogram.values()) == len(tiny_netlist)
+        assert histogram.get(2, 0) >= 1  # g_and drives two sinks

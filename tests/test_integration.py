@@ -1,0 +1,76 @@
+"""End-to-end integration tests of the POLARIS flow against VALIANT.
+
+These tests exercise the full paper pipeline on deliberately tiny designs:
+cognition generation on training designs, model fitting, XAI rule
+extraction, protection of an unseen evaluation design, and comparison with
+the VALIANT baseline.  They assert the qualitative *shape* of the paper's
+results rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.baselines import ValiantConfig, valiant_protect
+from repro.core import protect_design
+from repro.simulation import functional_equivalent
+from repro.tvla import assess_leakage
+from repro.workloads import WorkloadConfig, evaluation_designs
+
+
+@pytest.fixture(scope="module")
+def unseen_design():
+    return evaluation_designs(WorkloadConfig(scale=0.25, seed=31,
+                                             designs=("voter",)))[0]
+
+
+class TestEndToEnd:
+    def test_polaris_reduces_leakage_on_unseen_design(self, trained_polaris,
+                                                      unseen_design, tvla_config):
+        before = assess_leakage(unseen_design, tvla_config)
+        report = protect_design(unseen_design, trained_polaris,
+                                mask_fraction=1.0, before=before)
+        assert report.leakage_reduction_pct > 15.0
+        assert report.after.mean_leakage < before.mean_leakage
+        assert functional_equivalent(unseen_design, report.outcome.masked_netlist,
+                                     n_vectors=128)
+
+    def test_larger_mask_budget_gives_at_least_as_much_reduction(
+            self, trained_polaris, unseen_design, tvla_config):
+        before = assess_leakage(unseen_design, tvla_config)
+        half = protect_design(unseen_design, trained_polaris, 0.5, before=before)
+        full = protect_design(unseen_design, trained_polaris, 1.0, before=before)
+        assert full.outcome.n_masked >= half.outcome.n_masked
+        assert (full.leakage_reduction_pct
+                >= half.leakage_reduction_pct - 5.0)  # allow TVLA noise
+
+    def test_polaris_is_faster_than_valiant(self, trained_polaris, unseen_design,
+                                            tvla_config):
+        before = assess_leakage(unseen_design, tvla_config)
+        report = protect_design(unseen_design, trained_polaris, 0.5, before=before)
+        valiant = valiant_protect(unseen_design,
+                                  ValiantConfig(tvla=tvla_config, max_iterations=4))
+        assert report.polaris_seconds < valiant.runtime_seconds
+
+    def test_polaris_overheads_below_valiant(self, trained_polaris, unseen_design,
+                                             tvla_config):
+        from repro.power import analyze_design
+        before = assess_leakage(unseen_design, tvla_config)
+        report = protect_design(unseen_design, trained_polaris, 0.5, before=before)
+        valiant = valiant_protect(unseen_design,
+                                  ValiantConfig(tvla=tvla_config, max_iterations=4))
+        original = analyze_design(unseen_design)
+        valiant_metrics = analyze_design(valiant.masked_netlist)
+        assert report.masked_metrics.area < valiant_metrics.area
+        assert report.masked_metrics.power < valiant_metrics.power
+
+    def test_rule_extraction_produces_readable_rules(self, trained_polaris):
+        rules = trained_polaris.extract_rules(max_samples=25)
+        text = rules.describe()
+        if len(rules) > 0:
+            assert "As long as" in text
+            assert ("Select & Replace" in text) or ("Do not Mask" in text)
+
+    def test_waterfall_explanations_render(self, trained_polaris):
+        explanations = trained_polaris.explain(max_samples=3)
+        for explanation in explanations:
+            rendered = explanation.waterfall(max_features=6).render()
+            assert "E[f(x)]" in rendered

@@ -1,0 +1,79 @@
+"""Tests for vectorised gate evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import GateType
+from repro.simulation import evaluate_gate, gate_truth_table
+
+
+class TestEvaluateGate:
+    def test_basic_gates_match_python_operators(self, rng):
+        a = rng.integers(0, 2, 64).astype(bool)
+        b = rng.integers(0, 2, 64).astype(bool)
+        np.testing.assert_array_equal(evaluate_gate(GateType.AND, [a, b]), a & b)
+        np.testing.assert_array_equal(evaluate_gate(GateType.OR, [a, b]), a | b)
+        np.testing.assert_array_equal(evaluate_gate(GateType.XOR, [a, b]), a ^ b)
+        np.testing.assert_array_equal(evaluate_gate(GateType.NAND, [a, b]), ~(a & b))
+        np.testing.assert_array_equal(evaluate_gate(GateType.NOR, [a, b]), ~(a | b))
+        np.testing.assert_array_equal(evaluate_gate(GateType.XNOR, [a, b]), ~(a ^ b))
+        np.testing.assert_array_equal(evaluate_gate(GateType.NOT, [a]), ~a)
+        np.testing.assert_array_equal(evaluate_gate(GateType.BUF, [a]), a)
+
+    def test_multi_input_gates_reduce(self, rng):
+        operands = [rng.integers(0, 2, 32).astype(bool) for _ in range(3)]
+        expected = operands[0] & operands[1] & operands[2]
+        np.testing.assert_array_equal(evaluate_gate(GateType.AND, operands), expected)
+
+    def test_mux(self, rng):
+        d0 = rng.integers(0, 2, 32).astype(bool)
+        d1 = rng.integers(0, 2, 32).astype(bool)
+        sel = rng.integers(0, 2, 32).astype(bool)
+        expected = np.where(sel, d1, d0)
+        np.testing.assert_array_equal(evaluate_gate(GateType.MUX, [d0, d1, sel]),
+                                      expected)
+
+    def test_masked_gates_compute_original_function(self, rng):
+        a = rng.integers(0, 2, 32).astype(bool)
+        b = rng.integers(0, 2, 32).astype(bool)
+        r = rng.integers(0, 2, 32).astype(bool)
+        np.testing.assert_array_equal(
+            evaluate_gate(GateType.MASKED_AND, [a, b, r]), a & b)
+        np.testing.assert_array_equal(
+            evaluate_gate(GateType.MASKED_OR, [a, b, r]), a | b)
+        np.testing.assert_array_equal(
+            evaluate_gate(GateType.MASKED_XOR, [a, b]), a ^ b)
+
+    def test_port_and_sequential_types_rejected(self):
+        a = np.array([True, False])
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.DFF, [a])
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [a])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            evaluate_gate(GateType.AND, [np.zeros(4, bool), np.zeros(5, bool)])
+
+    def test_wrong_operand_count_rejected(self):
+        a = np.zeros(4, bool)
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.NOT, [a, a])
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.MUX, [a, a])
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, [])
+
+
+class TestTruthTables:
+    def test_and_truth_table(self):
+        table = gate_truth_table(GateType.AND, 2)
+        np.testing.assert_array_equal(table, [False, False, False, True])
+
+    def test_xor_truth_table(self):
+        table = gate_truth_table(GateType.XOR, 2)
+        np.testing.assert_array_equal(table, [False, True, True, False])
+
+    def test_three_input_nor(self):
+        table = gate_truth_table(GateType.NOR, 3)
+        assert table[0] and not table[1:].any()

@@ -1,0 +1,137 @@
+"""Tests for masked gate definitions and the masking transform."""
+
+import itertools
+
+import pytest
+
+from repro.masking import (
+    MASKED_GATE_SPECS,
+    apply_masking,
+    mask_fraction,
+    maskable_gates,
+    masked_type_for,
+    needs_output_inverter,
+    reference_masked_and,
+    reference_masked_or,
+    reference_masked_xor,
+    spec_for_masked_type,
+    unmasked_equivalent_types,
+)
+from repro.netlist import GateType, validate_netlist
+from repro.simulation import functional_equivalent
+
+
+class TestMaskedGateConstructions:
+    def test_trichina_masked_and_is_correct_for_all_inputs(self):
+        # Eq. (5) of the paper: the masked output must equal (a & b) ^ z for
+        # every combination of data bits and mask bits.
+        for a, b, x, y, z in itertools.product([0, 1], repeat=5):
+            assert reference_masked_and(a, b, x, y, z) == (a & b) ^ z
+
+    def test_masked_or_is_correct_for_all_inputs(self):
+        for a, b, x, y, z in itertools.product([0, 1], repeat=5):
+            assert reference_masked_or(a, b, x, y, z) == (a | b) ^ z
+
+    def test_masked_xor_is_correct_for_all_inputs(self):
+        for a, b, x, y in itertools.product([0, 1], repeat=4):
+            assert reference_masked_xor(a, b, x, y) == (a ^ b) ^ (x ^ y)
+
+    def test_spec_registry_consistency(self):
+        for masked_type, spec in MASKED_GATE_SPECS.items():
+            assert spec.masked_type is masked_type
+            assert spec.fresh_random_bits >= 1
+            assert spec.internal_nodes >= 2
+            assert all(t.is_combinational for t in spec.replaces)
+        assert spec_for_masked_type(GateType.MASKED_AND).internal_nodes == 10
+
+    def test_masked_type_for_mapping(self):
+        assert masked_type_for(GateType.AND) is GateType.MASKED_AND
+        assert masked_type_for(GateType.NAND) is GateType.MASKED_AND
+        assert masked_type_for(GateType.NOR) is GateType.MASKED_OR
+        assert masked_type_for(GateType.XNOR) is GateType.MASKED_XOR
+        assert masked_type_for(GateType.AND, use_dom=True) is GateType.MASKED_AND_DOM
+        with pytest.raises(ValueError):
+            masked_type_for(GateType.NOT)
+
+    def test_output_inverter_needed_only_for_inverting_gates(self):
+        assert needs_output_inverter(GateType.NAND)
+        assert needs_output_inverter(GateType.NOR)
+        assert needs_output_inverter(GateType.XNOR)
+        assert not needs_output_inverter(GateType.AND)
+
+
+class TestMaskingTransform:
+    def test_maskable_gates_excludes_inverters_and_ffs(self, sequential_netlist):
+        candidates = maskable_gates(sequential_netlist)
+        assert "ff" not in candidates
+        assert "g_xor" in candidates
+
+    def test_apply_masking_replaces_types(self, tiny_netlist):
+        result = apply_masking(tiny_netlist, ["g_and", "g_nand"])
+        assert result.n_masked == 2
+        masked = result.netlist
+        assert masked.gate("g_and").gate_type is GateType.MASKED_AND
+        assert masked.gate("g_nand").gate_type is GateType.MASKED_AND
+        assert masked.gate("g_nand").attributes["inverted_output"] is True
+        assert masked.gate("g_and").attributes["inverted_output"] is False
+        # Untouched gates keep their types.
+        assert masked.gate("g_or").gate_type is GateType.OR
+
+    def test_original_netlist_not_modified(self, tiny_netlist):
+        apply_masking(tiny_netlist, ["g_and"])
+        assert tiny_netlist.gate("g_and").gate_type is GateType.AND
+
+    def test_masking_preserves_functionality(self, random_netlist):
+        result = apply_masking(random_netlist, maskable_gates(random_netlist))
+        assert functional_equivalent(random_netlist, result.netlist, n_vectors=512)
+        assert validate_netlist(result.netlist).is_valid
+
+    def test_dom_masking_preserves_functionality(self, random_netlist):
+        result = apply_masking(random_netlist, maskable_gates(random_netlist),
+                               use_dom=True)
+        assert functional_equivalent(random_netlist, result.netlist, n_vectors=256)
+        assert any(g.gate_type is GateType.MASKED_AND_DOM
+                   for g in result.netlist.gates)
+
+    def test_unknown_and_unmaskable_gates_skipped(self, sequential_netlist):
+        result = apply_masking(sequential_netlist, ["ff", "ghost", "g_xor"])
+        assert result.n_masked == 1
+        reasons = dict(result.skipped_gates)
+        assert "ghost" in reasons and "unknown" in reasons["ghost"]
+        assert "ff" in reasons
+
+    def test_double_masking_skipped(self, tiny_netlist):
+        once = apply_masking(tiny_netlist, ["g_and"]).netlist
+        twice = apply_masking(once, ["g_and"])
+        assert twice.n_masked == 0
+        assert any("already masked" in reason for _, reason in twice.skipped_gates)
+
+    def test_protection_style_and_scale_recorded(self, tiny_netlist):
+        result = apply_masking(tiny_netlist, ["g_and"],
+                               protection_style="valiant", overhead_scale=1.5)
+        gate = result.netlist.gate("g_and")
+        assert gate.attributes["protection_style"] == "valiant"
+        assert gate.attributes["overhead_scale"] == 1.5
+
+    def test_unmasked_equivalent_types(self, tiny_netlist):
+        masked = apply_masking(tiny_netlist, ["g_and", "g_xor"]).netlist
+        mapping = unmasked_equivalent_types(masked)
+        assert mapping == {"g_and": "AND", "g_xor": "XOR"}
+
+
+class TestMaskFraction:
+    def test_zero_and_full_fraction(self, random_netlist):
+        zero = mask_fraction(random_netlist, 0.0)
+        full = mask_fraction(random_netlist, 1.0)
+        assert zero.n_masked == 0
+        assert full.n_masked == len(maskable_gates(random_netlist))
+
+    def test_half_fraction_uses_ranking_order(self, random_netlist):
+        ranked = list(maskable_gates(random_netlist))
+        half = mask_fraction(random_netlist, 0.5, ranked_gates=ranked)
+        expected = set(ranked[:int(round(len(ranked) * 0.5))])
+        assert set(half.masked_gates) == expected
+
+    def test_invalid_fraction_rejected(self, random_netlist):
+        with pytest.raises(ValueError):
+            mask_fraction(random_netlist, 1.5)

@@ -1,0 +1,158 @@
+"""Tests for the ensemble models: Random Forest, AdaBoost, gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    GradientBoostingClassifier,
+    NotFittedError,
+    RandomForestClassifier,
+    accuracy_score,
+    roc_auc_score,
+)
+
+
+@pytest.fixture
+def nonlinear_data(rng):
+    features = rng.normal(size=(600, 6))
+    labels = (((features[:, 0] > 0) & (features[:, 1] < 0.5))
+              | (features[:, 2] * features[:, 3] > 0.4)).astype(int)
+    split = 450
+    return (features[:split], labels[:split], features[split:], labels[split:])
+
+
+class TestRandomForest:
+    def test_beats_chance_on_nonlinear_data(self, nonlinear_data):
+        Xtr, ytr, Xte, yte = nonlinear_data
+        model = RandomForestClassifier(n_estimators=25, max_depth=7,
+                                       random_state=1).fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.8
+
+    def test_probabilities_valid(self, nonlinear_data):
+        Xtr, ytr, Xte, _ = nonlinear_data
+        model = RandomForestClassifier(n_estimators=10, max_depth=5).fit(Xtr, ytr)
+        proba = model.predict_proba(Xte)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_deterministic_given_seed(self, nonlinear_data):
+        Xtr, ytr, Xte, _ = nonlinear_data
+        a = RandomForestClassifier(n_estimators=8, random_state=3).fit(Xtr, ytr)
+        b = RandomForestClassifier(n_estimators=8, random_state=3).fit(Xtr, ytr)
+        np.testing.assert_allclose(a.predict_proba(Xte), b.predict_proba(Xte))
+
+    def test_feature_importances_shape(self, nonlinear_data):
+        Xtr, ytr, _, _ = nonlinear_data
+        model = RandomForestClassifier(n_estimators=5, max_depth=4).fit(Xtr, ytr)
+        assert model.feature_importances_.shape == (Xtr.shape[1],)
+
+    def test_invalid_estimator_count(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.zeros((1, 3)))
+
+
+class TestAdaBoost:
+    def test_boosting_improves_over_single_stump(self, nonlinear_data):
+        Xtr, ytr, Xte, yte = nonlinear_data
+        stump = AdaBoostClassifier(n_estimators=1, learning_rate=1.0,
+                                   max_depth=1).fit(Xtr, ytr)
+        boosted = AdaBoostClassifier(n_estimators=80, learning_rate=0.5,
+                                     max_depth=1).fit(Xtr, ytr)
+        assert (accuracy_score(yte, boosted.predict(Xte))
+                > accuracy_score(yte, stump.predict(Xte)))
+
+    def test_auc_reasonable(self, nonlinear_data):
+        Xtr, ytr, Xte, yte = nonlinear_data
+        model = AdaBoostClassifier(n_estimators=60, learning_rate=0.5,
+                                   max_depth=2).fit(Xtr, ytr)
+        assert roc_auc_score(yte, model.positive_score(Xte)) > 0.85
+
+    def test_small_learning_rate_matches_paper_configuration(self, nonlinear_data):
+        Xtr, ytr, Xte, yte = nonlinear_data
+        model = AdaBoostClassifier(n_estimators=100, learning_rate=0.01,
+                                   max_depth=2).fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.6
+
+    def test_single_class_training_degenerates_gracefully(self):
+        features = np.random.default_rng(0).normal(size=(20, 3))
+        model = AdaBoostClassifier(n_estimators=5).fit(features, np.ones(20, dtype=int))
+        assert (model.predict(features) == 1).all()
+
+    def test_sample_weight_influences_model(self, rng):
+        features = rng.normal(size=(200, 3))
+        labels = (features[:, 0] > 0).astype(int)
+        weights = np.where(labels == 1, 10.0, 0.1)
+        model = AdaBoostClassifier(n_estimators=20, learning_rate=0.5).fit(
+            features, labels, sample_weight=weights)
+        predictions = model.predict(features)
+        # Recall on the heavily weighted class should be near perfect.
+        assert (predictions[labels == 1] == 1).mean() > 0.95
+
+    def test_estimator_weights_positive(self, nonlinear_data):
+        Xtr, ytr, _, _ = nonlinear_data
+        model = AdaBoostClassifier(n_estimators=20, learning_rate=0.3).fit(Xtr, ytr)
+        assert all(w > 0 for w in model.estimator_weights_)
+        assert len(model.estimators_) == len(model.estimator_weights_)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(learning_rate=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            AdaBoostClassifier().predict_proba(np.zeros((1, 2)))
+
+
+class TestGradientBoosting:
+    def test_learns_nonlinear_boundary(self, nonlinear_data):
+        Xtr, ytr, Xte, yte = nonlinear_data
+        model = GradientBoostingClassifier(n_estimators=60, learning_rate=0.2,
+                                           max_depth=3).fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.85
+
+    def test_probabilities_valid_and_monotone_in_score(self, nonlinear_data):
+        Xtr, ytr, Xte, _ = nonlinear_data
+        model = GradientBoostingClassifier(n_estimators=30, learning_rate=0.2).fit(
+            Xtr, ytr)
+        proba = model.predict_proba(Xte)
+        scores = model.decision_function(Xte)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        order = np.argsort(scores)
+        assert (np.diff(proba[order, 1]) >= -1e-12).all()
+
+    def test_more_rounds_reduce_training_error(self, nonlinear_data):
+        Xtr, ytr, _, _ = nonlinear_data
+        few = GradientBoostingClassifier(n_estimators=5, learning_rate=0.2).fit(Xtr, ytr)
+        many = GradientBoostingClassifier(n_estimators=80, learning_rate=0.2).fit(Xtr, ytr)
+        assert many.score(Xtr, ytr) >= few.score(Xtr, ytr)
+
+    def test_subsampling_still_learns(self, nonlinear_data):
+        Xtr, ytr, Xte, yte = nonlinear_data
+        model = GradientBoostingClassifier(n_estimators=60, learning_rate=0.2,
+                                           subsample=0.7, random_state=2).fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.8
+
+    def test_multiclass_rejected(self, rng):
+        features = rng.normal(size=(30, 2))
+        labels = rng.integers(0, 3, 30)
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier().fit(features, labels)
+
+    def test_single_class_training(self, rng):
+        features = rng.normal(size=(20, 2))
+        model = GradientBoostingClassifier(n_estimators=5).fit(
+            features, np.zeros(20, dtype=int))
+        assert (model.predict(features) == 0).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)

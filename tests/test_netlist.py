@@ -1,0 +1,114 @@
+"""Tests for the netlist data model."""
+
+import pytest
+
+from repro.netlist import GateType, Netlist, NetlistError
+
+
+class TestConstruction:
+    def test_add_gates_and_query(self, tiny_netlist):
+        assert len(tiny_netlist) == 5
+        assert "g_and" in tiny_netlist
+        assert tiny_netlist.gate("g_and").gate_type is GateType.AND
+        assert tiny_netlist.primary_inputs == ("a", "b", "c", "d")
+        assert set(tiny_netlist.primary_outputs) == {"y", "n3"}
+
+    def test_duplicate_gate_name_rejected(self, tiny_netlist):
+        with pytest.raises(NetlistError, match="duplicate gate"):
+            tiny_netlist.add_gate("g_and", GateType.OR, ["a", "b"], "zz")
+
+    def test_duplicate_driver_rejected(self, tiny_netlist):
+        with pytest.raises(NetlistError, match="already driven"):
+            tiny_netlist.add_gate("g_dup", GateType.OR, ["a", "b"], "n1")
+
+    def test_driving_primary_input_rejected(self, tiny_netlist):
+        with pytest.raises(NetlistError, match="primary input"):
+            tiny_netlist.add_gate("g_bad", GateType.OR, ["c", "d"], "a")
+
+    def test_fanin_limit_enforced(self):
+        netlist = Netlist("limits")
+        for i in range(6):
+            netlist.add_primary_input(f"i{i}")
+        with pytest.raises(NetlistError, match="fan-in"):
+            netlist.add_gate("g", GateType.AND,
+                             [f"i{i}" for i in range(6)], "out")
+
+    def test_unknown_gate_raises(self, tiny_netlist):
+        with pytest.raises(NetlistError, match="unknown gate"):
+            tiny_netlist.gate("does_not_exist")
+
+    def test_duplicate_primary_input_rejected(self):
+        netlist = Netlist("dups")
+        netlist.add_primary_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_primary_input("a")
+
+
+class TestConnectivity:
+    def test_driver_and_sinks(self, tiny_netlist):
+        assert tiny_netlist.driver_of("n1").name == "g_and"
+        assert tiny_netlist.driver_of("a") is None
+        sink_names = {g.name for g in tiny_netlist.sinks_of("n1")}
+        assert sink_names == {"g_xor", "g_nand"}
+
+    def test_fanin_fanout_gates(self, tiny_netlist):
+        fanin = {g.name for g in tiny_netlist.fanin_gates("g_xor")}
+        assert fanin == {"g_and", "g_or"}
+        fanout = {g.name for g in tiny_netlist.fanout_gates("g_and")}
+        assert fanout == {"g_xor", "g_nand"}
+
+    def test_remove_gate_detaches_connectivity(self, tiny_netlist):
+        tiny_netlist.remove_gate("g_not")
+        assert "g_not" not in tiny_netlist
+        assert tiny_netlist.driver_of("y") is None
+        assert all(g.name != "g_not" for g in tiny_netlist.sinks_of("n4"))
+
+    def test_replace_gate(self, tiny_netlist):
+        gate = tiny_netlist.gate("g_and").copy()
+        gate.gate_type = GateType.NAND
+        tiny_netlist.replace_gate("g_and", gate)
+        assert tiny_netlist.gate("g_and").gate_type is GateType.NAND
+        assert tiny_netlist.driver_of("n1").name == "g_and"
+
+    def test_undriven_and_dangling_nets(self):
+        netlist = Netlist("broken")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        netlist.add_gate("g", GateType.AND, ["a", "floating"], "n1")
+        netlist.add_gate("g2", GateType.NOT, ["a"], "unused")
+        assert "floating" in netlist.undriven_nets()
+        assert "y" in netlist.undriven_nets()
+        assert "unused" in netlist.dangling_nets()
+
+
+class TestHelpers:
+    def test_copy_is_independent(self, tiny_netlist):
+        clone = tiny_netlist.copy("clone")
+        clone.remove_gate("g_not")
+        assert "g_not" in tiny_netlist
+        assert clone.name == "clone"
+        assert len(clone) == len(tiny_netlist) - 1
+
+    def test_gate_type_counts(self, tiny_netlist):
+        counts = tiny_netlist.gate_type_counts()
+        assert counts[GateType.AND] == 1
+        assert counts[GateType.NOT] == 1
+        assert sum(counts.values()) == len(tiny_netlist)
+
+    def test_combinational_and_sequential_views(self, sequential_netlist):
+        assert {g.name for g in sequential_netlist.sequential_gates()} == {"ff"}
+        comb = {g.name for g in sequential_netlist.combinational_gates()}
+        assert comb == {"g_xor", "g_and"}
+
+    def test_fresh_names_are_unique(self, tiny_netlist):
+        net = tiny_netlist.fresh_net_name()
+        gate = tiny_netlist.fresh_gate_name()
+        assert not tiny_netlist.has_net(net)
+        assert gate not in tiny_netlist
+
+    def test_stats(self, tiny_netlist):
+        stats = tiny_netlist.stats()
+        assert stats["gates"] == 5
+        assert stats["primary_inputs"] == 4
+        assert stats["maskable_gates"] == 4  # AND, OR, XOR, NAND
+        assert stats["flip_flops"] == 0

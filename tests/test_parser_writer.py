@@ -1,0 +1,87 @@
+"""Tests for BENCH parsing and writing."""
+
+import pytest
+
+from repro.netlist import (
+    GateType,
+    ParseError,
+    load_benchmark,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
+
+SAMPLE = """
+# name: sample
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+n1 = NAND(a, b)
+n2 = INV(c)
+y = XOR(n1, n2)
+"""
+
+
+class TestParser:
+    def test_parse_basic(self):
+        netlist = parse_bench(SAMPLE)
+        assert netlist.name == "sample"
+        assert netlist.primary_inputs == ("a", "b", "c")
+        assert netlist.primary_outputs == ("y",)
+        assert len(netlist) == 3
+        assert netlist.driver_of("y").gate_type is GateType.XOR
+
+    def test_alias_inv_maps_to_not(self):
+        netlist = parse_bench(SAMPLE)
+        assert netlist.driver_of("n2").gate_type is GateType.NOT
+
+    def test_unknown_gate_type_raises_with_line_number(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"
+        with pytest.raises(ParseError, match="line 3"):
+            parse_bench(text)
+
+    def test_malformed_statement_raises(self):
+        with pytest.raises(ParseError, match="unrecognised"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_gate_without_inputs_raises(self):
+        with pytest.raises(ParseError, match="no inputs"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND()\n")
+
+    def test_duplicate_driver_raises_parse_error(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ny = OR(a, b)\n"
+        with pytest.raises(ParseError):
+            parse_bench(text)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hello\n\nINPUT(a)\n# another\nOUTPUT(a)\n"
+        netlist = parse_bench(text)
+        assert netlist.primary_inputs == ("a",)
+        assert len(netlist) == 0
+
+
+class TestWriter:
+    def test_roundtrip_preserves_structure(self, tiny_netlist):
+        text = write_bench(tiny_netlist)
+        parsed = parse_bench(text)
+        assert parsed.name == tiny_netlist.name
+        assert parsed.primary_inputs == tiny_netlist.primary_inputs
+        assert set(parsed.primary_outputs) == set(tiny_netlist.primary_outputs)
+        assert len(parsed) == len(tiny_netlist)
+        # Per-net driver types must match.
+        for gate in tiny_netlist.gates:
+            assert parsed.driver_of(gate.output).gate_type is gate.gate_type
+
+    def test_roundtrip_benchmark(self):
+        netlist = load_benchmark("c432", scale=0.3)
+        parsed = parse_bench(write_bench(netlist))
+        assert len(parsed) == len(netlist)
+        assert set(parsed.nets) == set(netlist.nets)
+
+    def test_file_roundtrip(self, tiny_netlist, tmp_path):
+        path = write_bench_file(tiny_netlist, tmp_path / "tiny.bench")
+        parsed = parse_bench_file(path)
+        assert parsed.name == "tiny"
+        assert len(parsed) == len(tiny_netlist)

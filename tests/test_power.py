@@ -1,0 +1,158 @@
+"""Tests for the power model, trace generation and overhead analysis."""
+
+import numpy as np
+import pytest
+
+from repro.masking import apply_masking, maskable_gates
+from repro.netlist import GateType, Netlist
+from repro.power import (
+    DesignMetrics,
+    GatePowerModel,
+    PowerModelConfig,
+    PowerTraceGenerator,
+    PowerTraces,
+    analyze_design,
+    critical_path_delay,
+    overhead_report,
+)
+from repro.simulation import fixed_vs_random_campaigns
+
+
+class TestGatePowerModel:
+    def test_unmasked_power_scales_with_toggles(self, tiny_netlist):
+        model = GatePowerModel(config=PowerModelConfig(noise_sigma=0.0))
+        gate = tiny_netlist.gate("g_and")
+        quiet = model.unmasked_power(gate, np.zeros(10, dtype=bool))
+        busy = model.unmasked_power(gate, np.ones(10, dtype=bool))
+        assert (busy > quiet).all()
+        assert quiet.min() > 0  # static floor
+
+    def test_load_increases_power(self, tiny_netlist):
+        model = GatePowerModel(config=PowerModelConfig(noise_sigma=0.0))
+        gate = tiny_netlist.gate("g_and")
+        toggles = np.ones(5, dtype=bool)
+        low = model.unmasked_power(gate, toggles, fanout=1)
+        high = model.unmasked_power(gate, toggles, fanout=4)
+        assert (high > low).all()
+
+    def test_masked_power_positive_and_noisy_free(self, rng):
+        model = GatePowerModel(config=PowerModelConfig(noise_sigma=0.0), seed=2)
+        from repro.netlist.netlist import Gate
+        masked_gate = Gate("m", GateType.MASKED_AND, ["a", "b"], "y",
+                           {"masked_from": "AND"})
+        a_prev = rng.integers(0, 2, 200).astype(bool)
+        b_prev = rng.integers(0, 2, 200).astype(bool)
+        a_cur = rng.integers(0, 2, 200).astype(bool)
+        b_cur = rng.integers(0, 2, 200).astype(bool)
+        power = model.masked_power(masked_gate, (a_prev, b_prev), (a_cur, b_cur))
+        assert power.shape == (200,)
+        assert (power >= 0).all()
+        assert power.std() > 0  # fresh masks randomise the consumption
+
+    def test_valiant_style_retains_more_data_dependence(self, rng):
+        config = PowerModelConfig(noise_sigma=0.0)
+        model = GatePowerModel(config=config, seed=3)
+        from repro.netlist.netlist import Gate
+        n = 4000
+        a_prev = rng.integers(0, 2, n).astype(bool)
+        b_prev = rng.integers(0, 2, n).astype(bool)
+        a_cur = rng.integers(0, 2, n).astype(bool)
+        b_cur = rng.integers(0, 2, n).astype(bool)
+        toggles = (np.logical_xor(a_prev, a_cur).astype(float)
+                   + np.logical_xor(b_prev, b_cur).astype(float)) / 2.0
+        trichina = Gate("m", GateType.MASKED_AND, ["a", "b"], "y",
+                        {"masked_from": "AND", "protection_style": "trichina"})
+        valiant = Gate("m", GateType.MASKED_AND, ["a", "b"], "y",
+                       {"masked_from": "AND", "protection_style": "valiant"})
+        p_tri = model.masked_power(trichina, (a_prev, b_prev), (a_cur, b_cur))
+        p_val = model.masked_power(valiant, (a_prev, b_prev), (a_cur, b_cur))
+        corr_tri = np.corrcoef(p_tri, toggles)[0, 1]
+        corr_val = np.corrcoef(p_val, toggles)[0, 1]
+        assert corr_val > corr_tri  # VALIANT cells leak more of the input activity
+
+    def test_input_glitch_factor_monotone(self):
+        model = GatePowerModel(config=PowerModelConfig())
+        assert model.input_glitch_factor(1.0) > model.input_glitch_factor(0.0)
+
+    def test_noise_addition(self):
+        model = GatePowerModel(config=PowerModelConfig(noise_sigma=0.5), seed=1)
+        clean = np.full(1000, 3.0)
+        noisy = model.add_noise(clean)
+        assert noisy.std() > 0.1
+        model_quiet = GatePowerModel(config=PowerModelConfig(noise_sigma=0.0))
+        np.testing.assert_array_equal(model_quiet.add_noise(clean), clean)
+
+
+class TestPowerTraces:
+    def test_trace_matrix_shape(self, tiny_netlist):
+        generator = PowerTraceGenerator(tiny_netlist, seed=1)
+        fixed, rand = fixed_vs_random_campaigns(tiny_netlist, 50, seed=1)
+        traces = generator.generate(fixed)
+        assert isinstance(traces, PowerTraces)
+        assert traces.per_gate.shape == (50, len(tiny_netlist))
+        np.testing.assert_allclose(traces.total, traces.per_gate.sum(axis=1))
+
+    def test_gate_column_lookup(self, tiny_netlist):
+        generator = PowerTraceGenerator(tiny_netlist, seed=1)
+        fixed, _ = fixed_vs_random_campaigns(tiny_netlist, 20, seed=1)
+        traces = generator.generate(fixed)
+        column = traces.gate_column("g_and")
+        assert column.shape == (20,)
+        with pytest.raises(KeyError):
+            traces.gate_column("nonexistent")
+
+    def test_masked_gates_get_power_columns(self, tiny_netlist):
+        masked = apply_masking(tiny_netlist, maskable_gates(tiny_netlist)).netlist
+        generator = PowerTraceGenerator(masked, seed=1)
+        fixed, _ = fixed_vs_random_campaigns(masked, 30, seed=1)
+        traces = generator.generate(fixed)
+        assert traces.per_gate.shape[1] == len(masked)
+        assert (traces.per_gate >= 0).sum() > 0
+
+
+class TestOverheadAnalysis:
+    def test_analyze_design_counts_and_positivity(self, tiny_netlist):
+        metrics = analyze_design(tiny_netlist)
+        assert metrics.gate_count == len(tiny_netlist)
+        assert metrics.area > 0 and metrics.power > 0 and metrics.delay > 0
+
+    def test_masking_increases_all_metrics(self, random_netlist):
+        masked = apply_masking(random_netlist, maskable_gates(random_netlist)).netlist
+        original = analyze_design(random_netlist)
+        protected = analyze_design(masked)
+        assert protected.area > original.area
+        assert protected.power > original.power
+        assert protected.delay >= original.delay
+
+    def test_overhead_scale_attribute_respected(self, tiny_netlist):
+        plain = apply_masking(tiny_netlist, ["g_and"]).netlist
+        scaled = apply_masking(tiny_netlist, ["g_and"], overhead_scale=2.0).netlist
+        assert analyze_design(scaled).area > analyze_design(plain).area
+
+    def test_critical_path_delay_matches_depth_ordering(self, tiny_netlist):
+        shallow = Netlist("shallow")
+        shallow.add_primary_input("a")
+        shallow.add_primary_input("b")
+        shallow.add_primary_output("y")
+        shallow.add_gate("g", GateType.AND, ["a", "b"], "y")
+        assert critical_path_delay(tiny_netlist) > critical_path_delay(shallow)
+
+    def test_activity_weighted_power(self, tiny_netlist):
+        idle = analyze_design(tiny_netlist,
+                              activity={g.name: 0.0 for g in tiny_netlist.gates})
+        busy = analyze_design(tiny_netlist,
+                              activity={g.name: 1.0 for g in tiny_netlist.gates})
+        assert busy.power > idle.power
+
+    def test_overhead_report_fields(self, tiny_netlist):
+        masked = apply_masking(tiny_netlist, ["g_and"]).netlist
+        report = overhead_report(analyze_design(tiny_netlist), analyze_design(masked))
+        assert report["area_ratio"] >= 1.0
+        assert report["area_increase_pct"] == pytest.approx(
+            (report["area_ratio"] - 1.0) * 100.0)
+
+    def test_ratios_to(self):
+        base = DesignMetrics(area=10, power=2, delay=1, gate_count=5)
+        other = DesignMetrics(area=20, power=4, delay=3, gate_count=5)
+        ratios = other.ratios_to(base)
+        assert ratios == {"area": 2.0, "power": 2.0, "delay": 3.0}

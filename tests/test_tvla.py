@@ -1,0 +1,186 @@
+"""Tests for the TVLA engine: moments, Welch's t-test, gate assessment."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.masking import apply_masking, maskable_gates
+from repro.power import PowerModelConfig
+from repro.tvla import (
+    OnePassMoments,
+    TVLA_THRESHOLD,
+    TvlaConfig,
+    assess_leakage,
+    compare_assessments,
+    welch_from_accumulators,
+    welch_from_moments,
+    welch_t_test,
+)
+
+
+class TestOnePassMoments:
+    def test_mean_and_variance_match_numpy(self, rng):
+        samples = rng.normal(3.0, 2.0, size=500)
+        acc = OnePassMoments(max_order=2)
+        acc.update_batch(samples)
+        assert acc.mean == pytest.approx(samples.mean())
+        assert acc.variance == pytest.approx(samples.var(ddof=1))
+        assert acc.standard_deviation == pytest.approx(samples.std(ddof=1))
+
+    def test_vectorised_accumulation(self, rng):
+        samples = rng.normal(size=(300, 7))
+        acc = OnePassMoments(max_order=2, shape=(7,))
+        acc.update_batch(samples)
+        np.testing.assert_allclose(acc.mean, samples.mean(axis=0))
+        np.testing.assert_allclose(acc.variance, samples.var(axis=0, ddof=1))
+
+    def test_higher_order_moments(self, rng):
+        samples = rng.exponential(2.0, size=2000)
+        acc = OnePassMoments(max_order=4)
+        acc.update_batch(samples)
+        assert acc.central_moment(3) == pytest.approx(
+            ((samples - samples.mean()) ** 3).mean(), rel=1e-6)
+        assert acc.central_moment(4) == pytest.approx(
+            ((samples - samples.mean()) ** 4).mean(), rel=1e-6)
+        assert acc.skewness() == pytest.approx(stats.skew(samples), rel=1e-6)
+        assert acc.kurtosis() == pytest.approx(stats.kurtosis(samples, fisher=False),
+                                               rel=1e-6)
+
+    def test_merge_equals_sequential(self, rng):
+        first = rng.normal(size=400)
+        second = rng.normal(2.0, 3.0, size=250)
+        acc_a = OnePassMoments(max_order=4)
+        acc_a.update_batch(first)
+        acc_b = OnePassMoments(max_order=4)
+        acc_b.update_batch(second)
+        merged = acc_a.merge(acc_b)
+        reference = OnePassMoments(max_order=4)
+        reference.update_batch(np.concatenate([first, second]))
+        assert merged.count == reference.count
+        assert merged.mean == pytest.approx(reference.mean)
+        assert merged.variance == pytest.approx(reference.variance)
+        assert merged.central_moment(3) == pytest.approx(reference.central_moment(3))
+        assert merged.central_moment(4) == pytest.approx(reference.central_moment(4))
+
+    def test_shape_mismatch_rejected(self):
+        acc = OnePassMoments(shape=(3,))
+        with pytest.raises(ValueError):
+            acc.update(np.zeros(4))
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            OnePassMoments(max_order=5)
+        acc = OnePassMoments(max_order=2)
+        acc.update(1.0)
+        with pytest.raises(ValueError):
+            acc.central_moment(3)
+
+
+class TestWelch:
+    def test_matches_scipy(self, rng):
+        group0 = rng.normal(0.0, 1.0, size=300)
+        group1 = rng.normal(0.4, 1.5, size=280)
+        result = welch_t_test(group0, group1)
+        reference = stats.ttest_ind(group0, group1, equal_var=False)
+        assert float(result.t_statistic) == pytest.approx(reference.statistic)
+        assert float(result.p_value) == pytest.approx(reference.pvalue, rel=1e-6)
+
+    def test_vectorised_columns(self, rng):
+        group0 = rng.normal(size=(200, 5))
+        group1 = rng.normal(0.3, 1.0, size=(200, 5))
+        result = welch_t_test(group0, group1)
+        assert result.t_statistic.shape == (5,)
+        reference = stats.ttest_ind(group0, group1, equal_var=False, axis=0)
+        np.testing.assert_allclose(result.t_statistic, reference.statistic)
+
+    def test_identical_groups_give_zero_t(self):
+        samples = np.ones(100)
+        result = welch_t_test(samples, samples)
+        assert float(result.t_statistic) == 0.0
+
+    def test_threshold_mask(self, rng):
+        group0 = rng.normal(0.0, 1.0, size=5000)
+        group1 = rng.normal(5.0, 1.0, size=5000)
+        result = welch_t_test(group0, group1)
+        assert result.exceeds_threshold().all()
+        assert abs(float(result.t_statistic)) > TVLA_THRESHOLD
+
+    def test_from_moments_and_accumulators_agree(self, rng):
+        group0 = rng.normal(size=400)
+        group1 = rng.normal(0.2, 2.0, size=350)
+        direct = welch_t_test(group0, group1)
+        from_moments = welch_from_moments(group0.mean(), group0.var(ddof=1),
+                                          group0.size, group1.mean(),
+                                          group1.var(ddof=1), group1.size)
+        acc0 = OnePassMoments()
+        acc0.update_batch(group0)
+        acc1 = OnePassMoments()
+        acc1.update_batch(group1)
+        from_acc = welch_from_accumulators(acc0, acc1)
+        assert float(direct.t_statistic) == pytest.approx(float(from_moments.t_statistic))
+        assert float(direct.t_statistic) == pytest.approx(float(from_acc.t_statistic))
+
+    def test_too_few_traces_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestAssessment:
+    def test_per_gate_results(self, tiny_netlist, tvla_config):
+        assessment = assess_leakage(tiny_netlist, tvla_config)
+        assert len(assessment.gate_names) == len(tiny_netlist)
+        assert assessment.t_values.shape == (len(tiny_netlist),)
+        assert assessment.leakage_values.shape == (len(tiny_netlist),)
+        assert assessment.n_leaky == int(assessment.leaky_mask.sum())
+        assert assessment.elapsed_seconds > 0
+
+    def test_unprotected_design_leaks(self, small_benchmark, tvla_config):
+        assessment = assess_leakage(small_benchmark, tvla_config)
+        assert assessment.n_leaky > 0
+        assert assessment.mean_leakage > 0.5
+
+    def test_full_masking_reduces_leakage(self, small_benchmark, tvla_config):
+        masked = apply_masking(small_benchmark,
+                               maskable_gates(small_benchmark)).netlist
+        before = assess_leakage(small_benchmark, tvla_config)
+        after = assess_leakage(masked, tvla_config)
+        comparison = compare_assessments(before, after)
+        assert comparison["leakage_reduction_pct"] > 20.0
+        assert after.mean_leakage < before.mean_leakage
+
+    def test_gate_lookup_helpers(self, tiny_netlist, tvla_config):
+        assessment = assess_leakage(tiny_netlist, tvla_config)
+        name = assessment.gate_names[0]
+        assert assessment.gate_leakage(name) == pytest.approx(
+            float(assessment.leakage_values[0]))
+        assert assessment.gate_t_value(name) == pytest.approx(
+            float(assessment.t_values[0]))
+        with pytest.raises(KeyError):
+            assessment.gate_leakage("missing")
+
+    def test_deterministic_for_same_seed(self, tiny_netlist, tvla_config):
+        first = assess_leakage(tiny_netlist, tvla_config)
+        second = assess_leakage(tiny_netlist, tvla_config)
+        np.testing.assert_allclose(first.t_values, second.t_values)
+
+    def test_fixed_vs_fixed_mode(self, tiny_netlist):
+        config = TvlaConfig(n_traces=100, n_fixed_classes=1, seed=2,
+                            mode="fixed_vs_fixed")
+        assessment = assess_leakage(tiny_netlist, config)
+        assert assessment.t_values.shape == (len(tiny_netlist),)
+
+    def test_unknown_mode_rejected(self, tiny_netlist):
+        with pytest.raises(ValueError):
+            assess_leakage(tiny_netlist, TvlaConfig(mode="bogus"))
+
+    def test_more_fixed_classes_tracks_mean_abs_t(self, tiny_netlist):
+        config = TvlaConfig(n_traces=100, n_fixed_classes=3, seed=2)
+        assessment = assess_leakage(tiny_netlist, config)
+        assert assessment.mean_abs_t is not None
+        # The worst-case |t| is always at least the mean over classes.
+        assert (np.abs(assessment.t_values) >= assessment.mean_abs_t - 1e-9).all()
+
+    def test_summary_contents(self, tiny_netlist, tvla_config):
+        summary = assess_leakage(tiny_netlist, tvla_config).summary()
+        assert summary["gates"] == len(tiny_netlist)
+        assert summary["n_traces"] == tvla_config.n_traces

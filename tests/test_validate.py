@@ -1,0 +1,76 @@
+"""Tests for netlist validation."""
+
+from repro.netlist import GateType, Netlist, validate_netlist
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self, tiny_netlist):
+        report = validate_netlist(tiny_netlist)
+        assert report.is_valid
+        assert report.errors == []
+
+    def test_missing_ports_flagged(self):
+        netlist = Netlist("noports")
+        report = validate_netlist(netlist)
+        assert not report.is_valid
+        assert any("primary inputs" in e for e in report.errors)
+        assert any("primary outputs" in e for e in report.errors)
+
+    def test_undriven_net_is_error(self):
+        netlist = Netlist("undriven")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        netlist.add_gate("g", GateType.AND, ["a", "ghost"], "y")
+        report = validate_netlist(netlist)
+        assert not report.is_valid
+        assert any("undriven" in e for e in report.errors)
+
+    def test_dangling_net_is_warning_only(self):
+        netlist = Netlist("dangling")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        netlist.add_gate("g1", GateType.NOT, ["a"], "y")
+        netlist.add_gate("g2", GateType.NOT, ["a"], "unused")
+        report = validate_netlist(netlist)
+        assert report.is_valid
+        assert any("dangling" in w for w in report.warnings)
+
+    def test_combinational_loop_detected(self):
+        netlist = Netlist("loop")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        netlist.add_gate("g1", GateType.AND, ["a", "n2"], "n1")
+        netlist.add_gate("g2", GateType.OR, ["n1", "a"], "n2")
+        netlist.add_gate("g3", GateType.NOT, ["n1"], "y")
+        report = validate_netlist(netlist)
+        assert not report.is_valid
+        assert any("loop" in e for e in report.errors)
+
+    def test_sequential_feedback_is_not_a_combinational_loop(self):
+        netlist = Netlist("seq_loop")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        netlist.add_gate("g1", GateType.XOR, ["a", "q"], "d")
+        netlist.add_gate("ff", GateType.DFF, ["d"], "q")
+        netlist.add_gate("g2", GateType.BUF, ["q"], "y")
+        report = validate_netlist(netlist)
+        assert report.is_valid
+
+    def test_duplicate_inputs_warn(self):
+        netlist = Netlist("dupin")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        netlist.add_gate("g", GateType.AND, ["a", "a"], "y")
+        report = validate_netlist(netlist)
+        assert report.is_valid
+        assert any("duplicated" in w for w in report.warnings)
+
+    def test_unused_primary_input_warns(self):
+        netlist = Netlist("unusedpi")
+        netlist.add_primary_input("a")
+        netlist.add_primary_input("b")
+        netlist.add_primary_output("y")
+        netlist.add_gate("g", GateType.NOT, ["a"], "y")
+        report = validate_netlist(netlist)
+        assert report.is_valid
+        assert any("never read" in w for w in report.warnings)

@@ -9,6 +9,9 @@ variables scale the experiments up towards the paper's setting:
   uses 10,000).
 * ``POLARIS_BENCH_DESIGNS`` — comma-separated subset of evaluation designs
   (default: the full 11-design suite of Table II).
+* ``POLARIS_BENCH_CHUNK`` — trace-chunk size of the streaming TVLA driver
+  (default 2048); campaigns larger than one chunk stream their moments
+  instead of materialising full trace matrices.
 
 Results (text tables + JSON) are written to ``benchmarks/results/``.
 """
@@ -31,6 +34,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 BENCH_SCALE = float(os.environ.get("POLARIS_BENCH_SCALE", "0.35"))
 BENCH_TRACES = int(os.environ.get("POLARIS_BENCH_TRACES", "500"))
+BENCH_CHUNK = int(os.environ.get("POLARIS_BENCH_CHUNK", "2048"))
 _default_designs = ",".join(EVALUATION_SUITE)
 BENCH_DESIGNS = tuple(
     name.strip()
@@ -40,8 +44,14 @@ BENCH_DESIGNS = tuple(
 
 
 def bench_tvla_config(seed: int = 17) -> TvlaConfig:
-    """TVLA configuration shared by all benches."""
-    return TvlaConfig(n_traces=BENCH_TRACES, n_fixed_classes=4, seed=seed)
+    """TVLA configuration shared by all benches.
+
+    Campaigns larger than ``BENCH_CHUNK`` traces (e.g. paper-scale runs
+    with ``POLARIS_BENCH_TRACES=10000``) automatically use the streaming
+    one-pass accumulator driver.
+    """
+    return TvlaConfig(n_traces=BENCH_TRACES, n_fixed_classes=4, seed=seed,
+                      chunk_traces=BENCH_CHUNK)
 
 
 def bench_polaris_config() -> PolarisConfig:

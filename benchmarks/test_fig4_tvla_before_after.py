@@ -56,9 +56,12 @@ def test_fig4_tvla_before_after_masking(benchmark, trained_polaris_bench,
     recorder.record(ExperimentRecord(
         "fig4", "Per-gate TVLA t-values before/after POLARIS masking",
         parameters={"design": design.name, "threshold": TVLA_THRESHOLD},
-        rows=[{"gate": name, "t_before": float(tb), "t_after": float(ta)}
-              for name, tb, ta in zip(before.gate_names, before.t_values,
-                                      after.t_values)]))
+        rows=[{"gate": name, "t_before": float(tb),
+               # Look the after-value up by name: the before and after
+               # assessments order their gates differently (the masked
+               # design groups masked composites into sub-ranges).
+               "t_after": after.gate_t_value(name)}
+              for name, tb in zip(before.gate_names, before.t_values)]))
 
     # Shape: the unprotected design has many gates above the threshold and
     # masking removes the large majority of them.

@@ -2,17 +2,27 @@
 
 Unlike the table/figure benches (single-shot experiment reproductions) these
 use pytest-benchmark's normal repeated timing to track the throughput of the
-hot paths: gate-level simulation, per-gate power-trace generation, the TVLA
-assessment (naive two-pass vs one-pass accumulator), structural feature
-extraction, and model inference.
+hot paths: gate-level simulation, per-gate power-trace generation (the
+vectorised streaming engine vs the reference per-gate loop, at the paper's
+10,000-trace scale), the TVLA assessment (streaming one-pass vs naive
+two-pass), structural feature extraction, and model inference.
+
+The vectorised-vs-loop comparison is recorded in
+``benchmarks/results/latest.json`` (experiment id
+``microbench_trace_generation``).
 """
 
 from __future__ import annotations
 
+import time
+import timeit
+
 import numpy as np
 import pytest
 
+from repro.core import ExperimentRecord
 from repro.features import StructuralFeatureExtractor
+from repro.masking import apply_masking, maskable_gates
 from repro.netlist import load_benchmark
 from repro.power import PowerTraceGenerator
 from repro.simulation import LogicSimulator, fixed_vs_random_campaigns
@@ -20,10 +30,31 @@ from repro.tvla import OnePassMoments, TvlaConfig, assess_leakage, welch_t_test
 
 from bench_common import BENCH_SCALE
 
+#: Trace count of the paper-scale generation benchmark (§V-A).
+PAPER_TRACES = 10_000
+
 
 @pytest.fixture(scope="module")
 def design():
     return load_benchmark("md5", scale=BENCH_SCALE, seed=3)
+
+
+@pytest.fixture(scope="module")
+def comparison_design():
+    """Bench netlist for the vectorised-vs-loop comparison.
+
+    Pinned to at least the default scale so shrinking
+    ``POLARIS_BENCH_SCALE`` (where fixed per-call overhead dominates both
+    engines) cannot flake the speedup assertion.
+    """
+    return load_benchmark("md5", scale=max(BENCH_SCALE, 0.35), seed=3)
+
+
+@pytest.fixture(scope="module")
+def masked_design(comparison_design):
+    """The bench netlist fully masked — the post-protection TVLA workload."""
+    return apply_masking(comparison_design,
+                         maskable_gates(comparison_design)).netlist
 
 
 def test_logic_simulation_throughput(benchmark, design):
@@ -42,10 +73,83 @@ def test_power_trace_generation_throughput(benchmark, design):
     assert traces.per_gate.shape == (500, len(design))
 
 
+def test_trace_generation_vectorised_vs_loop(comparison_design, masked_design,
+                                             recorder):
+    """Paper-scale (10,000-trace) vectorised vs per-gate-loop comparison.
+
+    One-shot timing (best of a few runs) rather than pytest-benchmark so the
+    slow reference loop does not dominate the harness; the measured speedups
+    are recorded in ``latest.json``.  The masked design is the
+    representative TVLA hot path: POLARIS cognition and the Table II flows
+    spend most of their trace budget assessing (partially) masked designs.
+    """
+
+    def best_of(fn, repeats=5):
+        return min(timeit.timeit(fn, number=1) for _ in range(repeats))
+
+    rows = []
+    for label, netlist in (("unmasked", comparison_design),
+                           ("masked", masked_design)):
+        generator = PowerTraceGenerator(netlist, seed=1)
+        fixed, _ = fixed_vs_random_campaigns(netlist, PAPER_TRACES, seed=1)
+        vectorised = best_of(lambda: generator.generate(fixed))
+        loop = best_of(lambda: generator.generate_loop(fixed))
+        rows.append({
+            "design": netlist.name,
+            "variant": label,
+            "n_traces": PAPER_TRACES,
+            "n_gates": len(netlist),
+            "loop_seconds": loop,
+            "vectorised_seconds": vectorised,
+            "speedup": loop / vectorised,
+        })
+
+    recorder.record(ExperimentRecord(
+        experiment_id="microbench_trace_generation",
+        description=("Vectorised streaming trace engine vs per-gate loop "
+                     f"at {PAPER_TRACES} traces"),
+        parameters={"scale": max(BENCH_SCALE, 0.35), "n_traces": PAPER_TRACES},
+        rows=rows,
+    ))
+    masked_row = rows[1]
+    assert masked_row["speedup"] >= 5.0, (
+        f"vectorised engine only {masked_row['speedup']:.1f}x faster than "
+        f"the per-gate loop on the masked bench netlist")
+    assert rows[0]["speedup"] > 1.0
+
+
 def test_tvla_assessment_throughput(benchmark, design):
     config = TvlaConfig(n_traces=300, n_fixed_classes=1, seed=2)
     assessment = benchmark(assess_leakage, design, config)
     assert len(assessment.gate_names) == len(design)
+
+
+def test_streaming_assessment_paper_scale(masked_design, recorder):
+    """10,000-trace streaming TVLA campaign — the paper-scale scenario.
+
+    Streams each group through one-pass accumulators in
+    ``chunk_traces``-sized blocks, so peak trace memory is O(chunk × gates)
+    instead of O(n_traces × gates).
+    """
+    config = TvlaConfig(n_traces=PAPER_TRACES, n_fixed_classes=1, seed=2,
+                        chunk_traces=2048)
+    start = time.perf_counter()
+    assessment = assess_leakage(masked_design, config)
+    elapsed = time.perf_counter() - start
+    assert assessment.streamed
+    assert len(assessment.gate_names) == len(masked_design)
+    recorder.record(ExperimentRecord(
+        experiment_id="microbench_streaming_tvla",
+        description="Streaming one-pass TVLA assessment at 10,000 traces",
+        parameters={"scale": max(BENCH_SCALE, 0.35), "n_traces": PAPER_TRACES,
+                    "chunk_traces": config.chunk_traces},
+        rows=[{
+            "design": masked_design.name,
+            "n_gates": len(masked_design),
+            "seconds": elapsed,
+            "traces_per_second": 2 * PAPER_TRACES / elapsed,
+        }],
+    ))
 
 
 def test_welch_two_pass_throughput(benchmark):

@@ -128,17 +128,27 @@ class PolarisConfig:
         return replace(self, model=model)
 
 
-def paper_configuration() -> PolarisConfig:
+def paper_configuration(chunk_traces: int = 2048,
+                        streaming: Optional[bool] = None) -> PolarisConfig:
     """The exact parameterisation reported in §V-A of the paper.
 
     (10,000 TVLA traces, ``Msize = 200``, ``L = 7``, ``itr = 100``,
     ``theta_r = 0.7``, AdaBoost with learning rate 0.01.)
+
+    Args:
+        chunk_traces: Trace-block size of the chunked TVLA driver.  At the
+            paper's 10,000 traces per group the campaigns exceed one chunk,
+            so assessments run in one-pass streaming mode by default and
+            trace memory stays ``O(chunk_traces × n_gates)``.
+        streaming: Force (True/False) or auto-select (None) the streaming
+            accumulator path; see :class:`repro.tvla.TvlaConfig`.
     """
     return PolarisConfig(
         msize=200,
         locality=7,
         iterations=100,
         theta_r=0.70,
-        tvla=TvlaConfig(n_traces=10_000, power=PowerModelConfig()),
+        tvla=TvlaConfig(n_traces=10_000, power=PowerModelConfig(),
+                        chunk_traces=chunk_traces, streaming=streaming),
         model=ModelConfig(model_type="adaboost", learning_rate=0.01),
     )

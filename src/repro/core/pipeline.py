@@ -25,7 +25,12 @@ from ..features.encoding import GateTypeEncoder
 from ..ml.base import BaseClassifier
 from ..netlist.netlist import Netlist
 from ..power.overhead import DesignMetrics, analyze_design, overhead_report
-from ..tvla.assessment import LeakageAssessment, assess_leakage, compare_assessments
+from ..tvla.assessment import (
+    LeakageAssessment,
+    assess_leakage,
+    campaign_schedule,
+    compare_assessments,
+)
 from ..xai.explain import Explanation
 from ..xai.rules import RuleExtractor, RuleSet
 from ..xai.tree_shap import TreeShapExplainer
@@ -169,8 +174,21 @@ def protect_design(
         A :class:`ProtectionReport`.
     """
     config = trained.config
+    # Build the stimulus schedule lazily and at most once: masking
+    # preserves the primary inputs, so the exact same campaigns drive the
+    # before and the after assessment (identical stimulus, no
+    # regeneration).
+    schedule = None
+
+    def shared_schedule():
+        nonlocal schedule
+        if schedule is None:
+            schedule = campaign_schedule(netlist, config.tvla)
+        return schedule
+
     if before is None:
-        before = assess_leakage(netlist, config.tvla)
+        before = assess_leakage(netlist, config.tvla,
+                                campaigns=shared_schedule())
 
     if budget_from_leaky:
         budget = int(round(mask_fraction * before.n_leaky))
@@ -189,7 +207,11 @@ def protect_design(
 
     after: Optional[LeakageAssessment] = None
     if evaluate:
-        after = assess_leakage(outcome.masked_netlist, config.tvla)
+        masked_netlist = outcome.masked_netlist
+        reuse = (tuple(masked_netlist.primary_inputs)
+                 == tuple(netlist.primary_inputs))
+        after = assess_leakage(masked_netlist, config.tvla,
+                               campaigns=shared_schedule() if reuse else None)
         leakage = compare_assessments(before, after)
     else:
         leakage = {"before_mean_leakage": before.mean_leakage}

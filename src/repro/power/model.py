@@ -77,6 +77,15 @@ class PowerModelConfig:
             fresh mask, that load switching stops being data-dependent once
             the gate is masked, making high-fan-out gates the most valuable
             masking targets.
+        noise_mode: How measurement noise is synthesised.  ``"gaussian"``
+            draws exact ziggurat normals (the reference behaviour);
+            ``"fast"`` draws a scaled Binomial(16, 1/2) via popcounts of raw
+            generator words, which has exactly the configured mean (0) and
+            standard deviation (``noise_sigma``) and is indistinguishable
+            from Gaussian noise for first-order TVLA statistics (excess
+            kurtosis -1/8) at a fraction of the sampling cost; ``"auto"``
+            (default) uses the fast sampler in the vectorised streaming
+            engine and exact normals in the reference per-gate loop.
     """
 
     noise_sigma: float = 1.8
@@ -88,6 +97,14 @@ class PowerModelConfig:
     masked_glitch_base: float = 0.55
     masked_glitch_xor: float = 1.30
     load_factor: float = 0.70
+    noise_mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.noise_mode not in ("auto", "gaussian", "fast"):
+            raise ValueError(
+                f"noise_mode must be 'auto', 'gaussian' or 'fast', "
+                f"got {self.noise_mode!r}"
+            )
 
 
 class GatePowerModel:
@@ -105,6 +122,18 @@ class GatePowerModel:
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
+    def unmasked_coefficients(self, gate: Gate,
+                              fanout: int = 1) -> Tuple[float, float]:
+        """Per-gate ``(dynamic, static)`` power coefficients of a plain cell.
+
+        ``power = dynamic * toggled + static``; the vectorised trace engine
+        precomputes these once per gate and applies them by broadcasting.
+        """
+        energy = self.library.switching_energy(gate.gate_type, gate.fanin)
+        glitch = 1.0 + self.config.glitch_factor * max(0, gate.fanin - 2)
+        load = 1.0 + self.config.load_factor * max(0, fanout - 1)
+        return energy * glitch * load, self.config.static_fraction * energy
+
     def unmasked_power(self, gate: Gate, toggled: np.ndarray,
                        fanout: int = 1) -> np.ndarray:
         """Power of an ordinary cell: energy on toggle plus static floor.
@@ -118,12 +147,8 @@ class GatePowerModel:
         Returns:
             Float array (n_traces,) of noiseless power samples.
         """
-        energy = self.library.switching_energy(gate.gate_type, gate.fanin)
-        glitch = 1.0 + self.config.glitch_factor * max(0, gate.fanin - 2)
-        load = 1.0 + self.config.load_factor * max(0, fanout - 1)
-        dynamic = energy * glitch * load * toggled.astype(float)
-        static = self.config.static_fraction * energy
-        return dynamic + static
+        dynamic, static = self.unmasked_coefficients(gate, fanout)
+        return dynamic * toggled.astype(float) + static
 
     def masked_power(
         self,
@@ -150,16 +175,14 @@ class GatePowerModel:
         a_prev, b_prev = data_prev
         a_cur, b_cur = data_cur
         n_traces = a_cur.shape[0]
-        nodes_prev = self._masked_internal_nodes(gate.gate_type, a_prev, b_prev,
-                                                 n_traces)
+        nodes_prev = self._masked_internal_nodes(gate.gate_type, a_prev, b_prev)
         if self.config.mask_refresh:
-            nodes_cur = self._masked_internal_nodes(gate.gate_type, a_cur, b_cur,
-                                                    n_traces)
+            nodes_cur = self._masked_internal_nodes(gate.gate_type, a_cur, b_cur)
         else:
             # Faulty masking: reuse the previous masks, so the shares track
             # the data and leakage persists (used by negative tests).
             nodes_cur = self._masked_internal_nodes(
-                gate.gate_type, a_cur, b_cur, n_traces, reuse_last_masks=True)
+                gate.gate_type, a_cur, b_cur, reuse_last_masks=True)
         toggles = np.zeros(n_traces, dtype=float)
         for name in nodes_cur:
             toggles += np.logical_xor(nodes_prev[name], nodes_cur[name]).astype(float)
@@ -170,25 +193,38 @@ class GatePowerModel:
         # Residual first-order leakage: the composite's data input pins carry
         # unmasked values, so their transitions (and the glitches they feed
         # into the masked core) remain data dependent.
-        style = str(gate.attributes.get("protection_style", "trichina"))
-        residual_factor = (self.config.valiant_residual if style == "valiant"
-                           else self.config.masked_residual)
+        residual_coeff = self.masked_residual_coefficient(
+            gate, glitch_input_factor)
         residual = np.zeros(n_traces, dtype=float)
-        if residual_factor > 0:
-            original = gate.attributes.get("masked_from")
-            try:
-                original_type = GateType(original) if original else GateType.NAND
-            except ValueError:
-                original_type = GateType.NAND
-            original_energy = self.library.switching_energy(original_type, 2)
+        if residual_coeff > 0:
             input_toggles = (
                 np.logical_xor(a_prev, a_cur).astype(float)
                 + np.logical_xor(b_prev, b_cur).astype(float)
             ) / 2.0
-            residual = (residual_factor * glitch_input_factor
-                        * original_energy * input_toggles)
+            residual = residual_coeff * input_toggles
 
         return per_node_energy * toggles + residual + static
+
+    def masked_residual_coefficient(self, gate: Gate,
+                                    glitch_input_factor: float = 1.0) -> float:
+        """Coefficient of the residual data-dependent leakage of a masked cell.
+
+        ``residual_power = coefficient * mean_input_toggles`` where the mean
+        input toggle count per trace is in [0, 1].  Returned once per gate so
+        the vectorised engine can apply it by broadcasting.
+        """
+        style = str(gate.attributes.get("protection_style", "trichina"))
+        residual_factor = (self.config.valiant_residual if style == "valiant"
+                           else self.config.masked_residual)
+        if residual_factor <= 0:
+            return 0.0
+        original = gate.attributes.get("masked_from")
+        try:
+            original_type = GateType(original) if original else GateType.NAND
+        except ValueError:
+            original_type = GateType.NAND
+        original_energy = self.library.switching_energy(original_type, 2)
+        return residual_factor * glitch_input_factor * original_energy
 
     def input_glitch_factor(self, xor_driver_fraction: float) -> float:
         """Residual-leakage multiplier for a masked cell's fan-in glitchiness.
@@ -202,22 +238,22 @@ class GatePowerModel:
 
     def add_noise(self, power: np.ndarray) -> np.ndarray:
         """Add Gaussian measurement noise to a power sample array."""
-        if self.config.noise_sigma <= 0:
+        sigma = self.noise_sigma_abs()
+        if sigma <= 0:
             return power
-        reference = self.library.switching_energy(GateType.NAND)
-        sigma = self.config.noise_sigma * reference
         return power + self._rng.normal(0.0, sigma, size=power.shape)
 
     # ------------------------------------------------------------------
-    def _masked_internal_nodes(
-        self,
+    @staticmethod
+    def _masked_nodes_for(
         gate_type: GateType,
         a: np.ndarray,
         b: np.ndarray,
-        n_traces: int,
-        reuse_last_masks: bool = False,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: np.ndarray,
     ) -> Dict[str, np.ndarray]:
-        """Internal signal values of the masked composite for one stimulus.
+        """Internal signal values of the masked composite for given masks.
 
         For the Trichina masked AND (Eq. 5 of the paper) with input masks
         ``x``/``y`` and output mask ``z``::
@@ -230,16 +266,11 @@ class GatePowerModel:
 
         OR is computed via De Morgan on the masked AND; XOR is share-wise.
         DOM uses the same share structure plus a register stage (modelled as
-        two additional internal nodes).
+        two additional internal nodes).  This is a pure function of the data
+        and mask bits; it is used both per-trace (with freshly drawn mask
+        arrays) and to enumerate the exact toggle-count lookup tables of the
+        vectorised trace engine.
         """
-        if reuse_last_masks and hasattr(self, "_last_masks"):
-            x, y, z = self._last_masks  # type: ignore[attr-defined]
-        else:
-            x = self._rng.integers(0, 2, size=n_traces, dtype=np.uint8).astype(bool)
-            y = self._rng.integers(0, 2, size=n_traces, dtype=np.uint8).astype(bool)
-            z = self._rng.integers(0, 2, size=n_traces, dtype=np.uint8).astype(bool)
-            self._last_masks = (x, y, z)
-
         if gate_type is GateType.MASKED_XOR:
             a_hat = np.logical_xor(a, x)
             b_hat = np.logical_xor(b, y)
@@ -273,3 +304,85 @@ class GatePowerModel:
             nodes["reg_t2"] = t2.copy()
             nodes["reg_t7"] = t7.copy()
         return nodes
+
+    def _masked_internal_nodes(
+        self,
+        gate_type: GateType,
+        a: np.ndarray,
+        b: np.ndarray,
+        reuse_last_masks: bool = False,
+    ) -> Dict[str, np.ndarray]:
+        """Masked-composite node values for one stimulus with drawn masks."""
+        if reuse_last_masks and hasattr(self, "_last_masks"):
+            x, y, z = self._last_masks  # type: ignore[attr-defined]
+        else:
+            size = a.shape
+            x = self._rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
+            y = self._rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
+            z = self._rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
+            self._last_masks = (x, y, z)
+        return self._masked_nodes_for(gate_type, a, b, x, y, z)
+
+    def masked_node_count(self, gate_type: GateType) -> int:
+        """Number of internal nodes of a masked composite cell."""
+        probe = np.zeros(1, dtype=bool)
+        return len(self._masked_nodes_for(gate_type, probe, probe,
+                                          probe, probe, probe))
+
+    def masked_toggle_table(self, gate_type: GateType,
+                            reuse_masks: bool = False) -> np.ndarray:
+        """Exact toggle-count lookup table of a masked composite cell.
+
+        The total internal-node toggle count of a masked composite between
+        the previous and the current stimulus is a deterministic function of
+        the four data bits ``(a_prev, b_prev, a_cur, b_cur)`` and the mask
+        bits.  This enumerates that function once so the vectorised engine
+        can replace per-trace share evaluation with a uint8 table gather:
+        drawing a uniform mask index and looking up the count is *exactly*
+        distribution-equivalent to drawing the masks and evaluating the
+        shares.
+
+        Args:
+            gate_type: A ``MASKED_*`` composite type.
+            reuse_masks: When True (faulty masking, ``mask_refresh=False``)
+                the previous and current evaluations share one mask triple,
+                so the table is indexed by 3 mask bits instead of 6.
+
+        Returns:
+            ``uint8`` array of shape ``(16, 8)`` (``reuse_masks``) or
+            ``(16, 64)``, indexed by ``[data_index, mask_index]`` with
+            ``data_index = a_prev | b_prev << 1 | a_cur << 2 | b_cur << 3``.
+        """
+        mask_bits = 3 if reuse_masks else 6
+        n_mask = 1 << mask_bits
+        index = np.arange(16 * n_mask)
+        data = index >> mask_bits
+        mask = index & (n_mask - 1)
+        a_prev = (data & 1).astype(bool)
+        b_prev = ((data >> 1) & 1).astype(bool)
+        a_cur = ((data >> 2) & 1).astype(bool)
+        b_cur = ((data >> 3) & 1).astype(bool)
+        x_prev = (mask & 1).astype(bool)
+        y_prev = ((mask >> 1) & 1).astype(bool)
+        z_prev = ((mask >> 2) & 1).astype(bool)
+        if reuse_masks:
+            x_cur, y_cur, z_cur = x_prev, y_prev, z_prev
+        else:
+            x_cur = ((mask >> 3) & 1).astype(bool)
+            y_cur = ((mask >> 4) & 1).astype(bool)
+            z_cur = ((mask >> 5) & 1).astype(bool)
+        nodes_prev = self._masked_nodes_for(gate_type, a_prev, b_prev,
+                                            x_prev, y_prev, z_prev)
+        nodes_cur = self._masked_nodes_for(gate_type, a_cur, b_cur,
+                                           x_cur, y_cur, z_cur)
+        toggles = np.zeros(index.shape, dtype=np.uint8)
+        for name in nodes_cur:
+            toggles += np.logical_xor(nodes_prev[name], nodes_cur[name])
+        return toggles.reshape(16, n_mask)
+
+    def noise_sigma_abs(self) -> float:
+        """Absolute noise standard deviation (in switching-energy units)."""
+        if self.config.noise_sigma <= 0:
+            return 0.0
+        return self.config.noise_sigma * self.library.switching_energy(
+            GateType.NAND)

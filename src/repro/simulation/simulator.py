@@ -22,7 +22,7 @@ import numpy as np
 from ..netlist.cell_library import GateType
 from ..netlist.netlist import Netlist, NetlistError
 from .levelize import topological_gate_order
-from .logic import evaluate_gate
+from .logic import _EVALUATORS, evaluate_gate
 
 
 class SimulationError(Exception):
@@ -64,6 +64,30 @@ class LogicSimulator:
         self.netlist = netlist
         self._order: List[str] = topological_gate_order(netlist)
         self._dff_gates = list(netlist.sequential_gates())
+        # Compile the evaluation sweep once: resolve each gate's evaluator,
+        # input tuple and output-inversion flag so the per-batch loop is a
+        # straight run of vectorised ufunc calls.  Gates whose operand
+        # counts cannot be validated statically keep the checked
+        # :func:`evaluate_gate` path (and its lazy errors).
+        self._compiled = []
+        for name in self._order:
+            gate = netlist.gate(name)
+            evaluator = _EVALUATORS.get(gate.gate_type)
+            n_inputs = len(gate.inputs)
+            valid = (evaluator is not None and n_inputs >= 1
+                     and not (gate.gate_type is GateType.MUX and n_inputs != 3)
+                     and not (gate.gate_type in (GateType.NOT, GateType.BUF)
+                              and n_inputs != 1))
+            if not valid:
+                evaluator = (lambda operands, gate_type=gate.gate_type:
+                             evaluate_gate(gate_type, operands))
+            # Masked composites that replaced an inverting primitive
+            # (NAND/NOR/XNOR) fold the inversion into their recombination
+            # stage; honour that through the transform's attribute.
+            inverted = bool(gate.gate_type.is_masked
+                            and gate.attributes.get("inverted_output"))
+            self._compiled.append(
+                (evaluator, tuple(gate.inputs), gate.output, inverted))
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -93,34 +117,45 @@ class LogicSimulator:
                 raise SimulationError(f"missing stimulus for primary input {net!r}")
             values[net] = np.asarray(input_values[net], dtype=bool)
 
+        # One shared default buffer backs every undriven net and DFF
+        # default; it is marked read-only so an in-place mutation by a
+        # caller (or engine code) raises instead of silently corrupting
+        # unrelated nets across cycles.
         zeros = np.zeros(n_vectors, dtype=bool)
+        zeros.setflags(write=False)
         for gate in self._dff_gates:
             if state is not None and gate.output in state:
-                values[gate.output] = np.asarray(state[gate.output], dtype=bool)
+                value = np.asarray(state[gate.output], dtype=bool)
+                if value.shape != (n_vectors,):
+                    raise SimulationError(
+                        f"state for register {gate.output!r} has shape "
+                        f"{value.shape}; expected ({n_vectors},)")
+                values[gate.output] = value
             else:
                 values[gate.output] = zeros
 
-        for name in self._order:
-            gate = self.netlist.gate(name)
+        for evaluator, inputs, output_net, inverted in self._compiled:
             operands = []
-            for net in gate.inputs:
-                if net not in values:
+            for net in inputs:
+                value = values.get(net)
+                if value is None:
                     # Undriven net: treat as constant 0 (matches common EDA
                     # semantics for floating inputs after optimisation).
                     values[net] = zeros
-                operands.append(values[net])
-            output = evaluate_gate(gate.gate_type, operands)
-            # Masked composites that replaced an inverting primitive
-            # (NAND/NOR/XNOR) fold the inversion into their recombination
-            # stage; honour that through the transform's attribute.
-            if gate.gate_type.is_masked and gate.attributes.get("inverted_output"):
+                    value = zeros
+                operands.append(value)
+            output = evaluator(operands)
+            if inverted:
                 output = np.logical_not(output)
-            values[gate.output] = output
+            values[output_net] = output
 
         next_state: Dict[str, np.ndarray] = {}
         for gate in self._dff_gates:
             data_net = gate.inputs[0]
-            next_state[gate.output] = values.get(data_net, zeros)
+            # Export a private copy: callers may mutate the returned state
+            # (e.g. to force register values) without aliasing net values
+            # still referenced by this result or by the shared zero buffer.
+            next_state[gate.output] = values.get(data_net, zeros).copy()
         return SimulationResult(values, next_state, n_vectors)
 
     def run_cycles(
@@ -147,10 +182,20 @@ class LogicSimulator:
 
     # ------------------------------------------------------------------
     def _batch_size(self, input_values: Mapping[str, np.ndarray]) -> int:
-        sizes = {np.asarray(v).shape[0] for v in input_values.values()
-                 if np.asarray(v).ndim >= 1}
-        if not sizes:
+        if not input_values:
             raise SimulationError("no input stimulus provided")
+        sizes = set()
+        scalars = []
+        for net, value in input_values.items():
+            array = np.asarray(value)
+            if array.ndim >= 1:
+                sizes.add(array.shape[0])
+            else:
+                scalars.append(net)
+        if not sizes:
+            raise SimulationError(
+                f"scalar stimulus for input(s) {sorted(scalars)}; expected "
+                f"1-D arrays (wrap single values as length-1 arrays/lists)")
         if len(sizes) != 1:
             raise SimulationError(f"inconsistent stimulus lengths: {sorted(sizes)}")
         return sizes.pop()

@@ -51,6 +51,19 @@ class TraceCampaign:
         cur = {name: self.current[:, i] for i, name in enumerate(self.input_names)}
         return prev, cur
 
+    def slice(self, start: int, stop: int) -> "TraceCampaign":
+        """Return the sub-campaign covering traces ``[start, stop)``.
+
+        The stimulus matrices are views (no copy); used by the streaming
+        TVLA driver to process a campaign in bounded-memory chunks.
+        """
+        if not 0 <= start <= stop <= self.n_traces:
+            raise ValueError(
+                f"invalid trace slice [{start}, {stop}) for a campaign of "
+                f"{self.n_traces} traces")
+        return TraceCampaign(self.label, self.previous[start:stop],
+                             self.current[start:stop], self.input_names)
+
 
 def random_vectors(n_vectors: int, n_bits: int,
                    rng: Optional[np.random.Generator] = None) -> np.ndarray:

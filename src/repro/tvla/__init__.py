@@ -12,6 +12,7 @@ from .assessment import (
     LeakageAssessment,
     TvlaConfig,
     assess_leakage,
+    campaign_schedule,
     compare_assessments,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "LeakageAssessment",
     "TvlaConfig",
     "assess_leakage",
+    "campaign_schedule",
     "compare_assessments",
 ]

@@ -5,13 +5,24 @@ it simulates a fixed-vs-random (or fixed-vs-fixed) trace campaign, generates
 per-gate power traces, and computes Welch's t statistic for every gate.  The
 result exposes both raw t-values and the normalised "leakage value per gate"
 (|t| / 4.5) that the paper's Table II aggregates per design.
+
+The campaign driver is **chunked**: traces are generated in blocks of
+``TvlaConfig.chunk_traces`` and either folded into
+:class:`~repro.tvla.moments.OnePassMoments` accumulators (streaming mode,
+the paper's §II-A acquisition-time moment computation after Schneider &
+Moradi — memory stays ``O(chunk_traces × n_gates)`` regardless of the trace
+count) or stacked into full matrices for the classic two-pass Welch test.
+Both modes consume identical traces, so their t-values agree to floating-
+point merge error (~1e-12); streaming is selected automatically for
+paper-scale campaigns.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from functools import cached_property
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,10 +30,20 @@ from ..netlist.netlist import Netlist
 from ..power.model import PowerModelConfig
 from ..power.traces import PowerTraceGenerator
 from ..simulation.vectors import (
+    TraceCampaign,
     fixed_vs_fixed_campaigns,
     fixed_vs_random_campaigns,
 )
-from .welch import TVLA_THRESHOLD, WelchResult, welch_t_test
+from .moments import OnePassMoments
+from .welch import (
+    TVLA_THRESHOLD,
+    WelchResult,
+    welch_from_accumulators,
+    welch_t_test,
+)
+
+#: A (group0, group1) campaign pair, one per fixed class.
+CampaignPair = Tuple[TraceCampaign, TraceCampaign]
 
 
 @dataclass(frozen=True)
@@ -42,6 +63,14 @@ class TvlaConfig:
         threshold: |t| distinguishability threshold.
         seed: RNG seed for stimulus and noise.
         power: Power-model configuration.
+        chunk_traces: Trace-block size of the chunked campaign driver; each
+            group is simulated and folded/stacked ``chunk_traces`` rows at a
+            time.  Bounds peak trace memory in streaming mode and keeps the
+            matrix pipeline cache-resident.
+        streaming: ``True`` forces one-pass streaming accumulation,
+            ``False`` forces the two-pass matrix test, ``None`` (default)
+            streams automatically whenever a group exceeds one chunk (i.e.
+            for paper-scale campaigns).
     """
 
     n_traces: int = 1000
@@ -50,6 +79,18 @@ class TvlaConfig:
     threshold: float = TVLA_THRESHOLD
     seed: int = 0
     power: PowerModelConfig = field(default_factory=PowerModelConfig)
+    chunk_traces: int = 2048
+    streaming: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_traces < 1:
+            raise ValueError("chunk_traces must be >= 1")
+
+    def resolved_streaming(self) -> bool:
+        """Whether assessments with this config stream their moments."""
+        if self.streaming is not None:
+            return self.streaming
+        return self.n_traces > self.chunk_traces
 
 
 @dataclass
@@ -64,6 +105,8 @@ class LeakageAssessment:
         threshold: |t| threshold used to call a gate leaky.
         n_traces: Traces per group used for the assessment.
         elapsed_seconds: Wall-clock time of the assessment.
+        mean_abs_t: Mean |t| across the fixed classes (None for one class).
+        streamed: Whether the one-pass streaming accumulator path was used.
     """
 
     design_name: str
@@ -74,6 +117,13 @@ class LeakageAssessment:
     n_traces: int
     elapsed_seconds: float
     mean_abs_t: Optional[np.ndarray] = None
+    streamed: bool = False
+
+    @cached_property
+    def _name_index(self) -> Dict[str, int]:
+        # Cached name -> position dict so per-gate lookups are O(1); the
+        # masking flow queries every gate of a design when ranking.
+        return {name: i for i, name in enumerate(self.gate_names)}
 
     # ------------------------------------------------------------------
     @property
@@ -119,18 +169,16 @@ class LeakageAssessment:
         Raises:
             KeyError: if the gate was not assessed.
         """
-        try:
-            index = self.gate_names.index(gate_name)
-        except ValueError as exc:
-            raise KeyError(f"gate {gate_name!r} was not assessed") from exc
+        index = self._name_index.get(gate_name)
+        if index is None:
+            raise KeyError(f"gate {gate_name!r} was not assessed")
         return float(self.leakage_values[index])
 
     def gate_t_value(self, gate_name: str) -> float:
         """Raw Welch t statistic of one gate."""
-        try:
-            index = self.gate_names.index(gate_name)
-        except ValueError as exc:
-            raise KeyError(f"gate {gate_name!r} was not assessed") from exc
+        index = self._name_index.get(gate_name)
+        if index is None:
+            raise KeyError(f"gate {gate_name!r} was not assessed")
         return float(self.t_values[index])
 
     def as_dict(self) -> Dict[str, float]:
@@ -148,47 +196,129 @@ class LeakageAssessment:
             "max_abs_t": float(np.abs(self.t_values).max()) if self.t_values.size else 0.0,
             "n_traces": self.n_traces,
             "elapsed_seconds": self.elapsed_seconds,
+            "streamed": self.streamed,
         }
 
 
+def campaign_schedule(netlist: Netlist,
+                      config: TvlaConfig) -> Tuple[CampaignPair, ...]:
+    """Build the per-fixed-class stimulus campaigns of one assessment.
+
+    The schedule depends only on the netlist's primary inputs and the TVLA
+    configuration, so :func:`repro.core.pipeline.protect_design` builds it
+    once and reuses it for the before and after assessments (masking
+    preserves the primary inputs).
+
+    Raises:
+        ValueError: for unknown campaign modes.
+    """
+    if config.mode not in ("fixed_vs_random", "fixed_vs_fixed"):
+        raise ValueError(f"unknown TVLA mode {config.mode!r}")
+    schedule = []
+    for class_index in range(max(1, config.n_fixed_classes)):
+        class_seed = config.seed + 613 * class_index
+        if config.mode == "fixed_vs_random":
+            schedule.append(fixed_vs_random_campaigns(
+                netlist, config.n_traces, seed=class_seed,
+                fixed_seed=1 + class_index))
+        else:
+            schedule.append(fixed_vs_fixed_campaigns(
+                netlist, config.n_traces, seed=class_seed,
+                fixed_seed_a=1 + 2 * class_index,
+                fixed_seed_b=2 + 2 * class_index))
+    return tuple(schedule)
+
+
+def _class_welch(generator: PowerTraceGenerator, pair: CampaignPair,
+                 config: TvlaConfig, streamed: bool) -> WelchResult:
+    """Welch's t-test for one fixed class via the chunked trace driver.
+
+    Both modes pull traces through the same chunk iteration (same generator
+    RNG consumption), so the streaming result equals the two-pass result up
+    to the floating-point error of the moment merge.
+    """
+    group0, group1 = pair
+    chunk = min(group0.n_traces, config.chunk_traces)
+    # zip pulls group0's chunk before group1's each round, fixing one
+    # generator-RNG consumption order shared by both modes.
+    chunk_pairs = zip(generator.generate_stream(group0, chunk),
+                      generator.generate_stream(group1, chunk))
+    if streamed:
+        shape = (generator.n_gates,)
+        acc0 = OnePassMoments(max_order=2, shape=shape)
+        acc1 = OnePassMoments(max_order=2, shape=shape)
+        for traces0, traces1 in chunk_pairs:
+            acc0.update_batch(traces0.per_gate)
+            acc1.update_batch(traces1.per_gate)
+        return welch_from_accumulators(acc0, acc1)
+    blocks0 = []
+    blocks1 = []
+    for traces0, traces1 in chunk_pairs:
+        blocks0.append(traces0.per_gate)
+        blocks1.append(traces1.per_gate)
+    return welch_t_test(np.concatenate(blocks0), np.concatenate(blocks1))
+
+
 def assess_leakage(netlist: Netlist,
-                   config: Optional[TvlaConfig] = None) -> LeakageAssessment:
+                   config: Optional[TvlaConfig] = None,
+                   generator: Optional[PowerTraceGenerator] = None,
+                   campaigns: Optional[Sequence[CampaignPair]] = None,
+                   ) -> LeakageAssessment:
     """Run a full per-gate TVLA campaign on ``netlist``.
 
     Args:
         netlist: The design to assess.
         config: Campaign configuration; defaults to :class:`TvlaConfig`.
+        generator: Optional pre-built trace generator for ``netlist``;
+            passing one lets callers (e.g. the POLARIS pipeline) reuse the
+            levelised simulator and power plan across assessments.
+        campaigns: Optional pre-built stimulus schedule (one campaign pair
+            per fixed class, as returned by :func:`campaign_schedule`);
+            reused by the pipeline across before/after assessments.
 
     Returns:
         A :class:`LeakageAssessment` with one t value per non-port gate.
 
     Raises:
-        ValueError: for unknown campaign modes.
+        ValueError: for unknown campaign modes or a schedule that does not
+            match the configuration.
     """
     config = config if config is not None else TvlaConfig()
-    if config.mode not in ("fixed_vs_random", "fixed_vs_fixed"):
-        raise ValueError(f"unknown TVLA mode {config.mode!r}")
     start = time.perf_counter()
-    generator = PowerTraceGenerator(netlist, config=config.power,
-                                    seed=config.seed)
+    if campaigns is None:
+        campaigns = campaign_schedule(netlist, config)
+    else:
+        if config.mode not in ("fixed_vs_random", "fixed_vs_fixed"):
+            raise ValueError(f"unknown TVLA mode {config.mode!r}")
+        n_classes = max(1, config.n_fixed_classes)
+        if len(campaigns) != n_classes:
+            raise ValueError(
+                f"campaign schedule has {len(campaigns)} classes; the "
+                f"configuration expects {n_classes}")
+        for pair in campaigns:
+            for campaign in pair:
+                if tuple(campaign.input_names) != tuple(netlist.primary_inputs):
+                    raise ValueError(
+                        "campaign schedule inputs do not match the "
+                        f"netlist's primary inputs for {netlist.name!r}")
+                if campaign.n_traces != config.n_traces:
+                    raise ValueError(
+                        f"campaign has {campaign.n_traces} traces; the "
+                        f"configuration expects {config.n_traces}")
+    if generator is None:
+        generator = PowerTraceGenerator(netlist, config=config.power,
+                                        seed=config.seed)
+    elif generator.netlist is not netlist:
+        raise ValueError(
+            f"generator was built for netlist {generator.netlist.name!r}, "
+            f"not {netlist.name!r}")
+    streamed = config.resolved_streaming()
 
-    n_classes = max(1, config.n_fixed_classes)
     worst_t: Optional[np.ndarray] = None
     worst_dof: Optional[np.ndarray] = None
     abs_sum: Optional[np.ndarray] = None
-    for class_index in range(n_classes):
-        class_seed = config.seed + 613 * class_index
-        if config.mode == "fixed_vs_random":
-            campaigns = fixed_vs_random_campaigns(
-                netlist, config.n_traces, seed=class_seed,
-                fixed_seed=1 + class_index)
-        else:
-            campaigns = fixed_vs_fixed_campaigns(
-                netlist, config.n_traces, seed=class_seed,
-                fixed_seed_a=1 + 2 * class_index,
-                fixed_seed_b=2 + 2 * class_index)
-        traces0, traces1 = generator.generate_pair(campaigns)
-        result: WelchResult = welch_t_test(traces0.per_gate, traces1.per_gate)
+    for pair in campaigns:
+        result = _class_welch(generator, pair, config, streamed)
         magnitude = np.abs(result.t_statistic)
         if worst_t is None:
             worst_t = result.t_statistic.copy()
@@ -209,7 +339,8 @@ def assess_leakage(netlist: Netlist,
         threshold=config.threshold,
         n_traces=config.n_traces,
         elapsed_seconds=elapsed,
-        mean_abs_t=abs_sum / n_classes,
+        mean_abs_t=abs_sum / len(campaigns),
+        streamed=streamed,
     )
 
 

@@ -75,10 +75,67 @@ class OnePassMoments:
         self._m2 = self._m2 + term1
 
     def update_batch(self, samples: np.ndarray) -> None:
-        """Fold a batch of samples (first axis indexes the samples)."""
+        """Fold a batch of samples (first axis indexes the samples).
+
+        The batch's mean and central sums are computed with vectorised
+        matrix reductions and merged into the running state with the exact
+        pairwise (Chan et al. / Pébay) formulas — one accumulator update per
+        batch instead of one Python-level Welford step per sample, which is
+        what makes chunked streaming TVLA practical at paper scale.
+        """
         samples = np.asarray(samples, dtype=float)
-        for sample in samples:
-            self.update(sample)
+        if samples.ndim < 1 or samples.shape[1:] != self.shape:
+            raise ValueError(
+                f"batch shape {samples.shape} does not match accumulator "
+                f"shape (n, *{self.shape})"
+            )
+        n_b = samples.shape[0]
+        if n_b == 0:
+            return
+        mean_b = samples.mean(axis=0)
+        delta = samples - mean_b
+        sq = delta * delta
+        m2_b = sq.sum(axis=0)
+        if self.max_order >= 3:
+            cube = sq * delta
+            m3_b = cube.sum(axis=0)
+        else:
+            m3_b = np.zeros(self.shape, dtype=float)
+        if self.max_order >= 4:
+            m4_b = (sq * sq).sum(axis=0)
+        else:
+            m4_b = np.zeros(self.shape, dtype=float)
+        self._combine(n_b, mean_b, m2_b, m3_b, m4_b)
+
+    def _combine(self, n_b: int, mean_b: np.ndarray, m2_b: np.ndarray,
+                 m3_b: np.ndarray, m4_b: np.ndarray) -> None:
+        """Merge a partial stream's (count, mean, central sums) in place."""
+        n_a = self.count
+        n = n_a + n_b
+        if n_b == 0:
+            return
+        if n_a == 0:
+            self.count = n_b
+            self._mean = np.array(mean_b, dtype=float)
+            self._m2 = np.array(m2_b, dtype=float)
+            self._m3 = np.array(m3_b, dtype=float)
+            self._m4 = np.array(m4_b, dtype=float)
+            return
+        delta = mean_b - self._mean
+        if self.max_order >= 4:
+            self._m4 = (self._m4 + m4_b
+                        + delta ** 4 * n_a * n_b
+                        * (n_a ** 2 - n_a * n_b + n_b ** 2) / n ** 3
+                        + 6.0 * delta ** 2 * (n_a ** 2 * m2_b
+                                              + n_b ** 2 * self._m2) / n ** 2
+                        + 4.0 * delta * (n_a * m3_b - n_b * self._m3) / n)
+        if self.max_order >= 3:
+            self._m3 = (self._m3 + m3_b
+                        + delta ** 3 * n_a * n_b * (n_a - n_b) / n ** 2
+                        + 3.0 * delta * (n_a * m2_b - n_b * self._m2) / n)
+        self._m2 = self._m2 + m2_b + delta ** 2 * n_a * n_b / n
+        self._mean = self._mean + delta * (n_b / n)
+        self.count = n
 
     # ------------------------------------------------------------------
     @property
@@ -144,33 +201,11 @@ class OnePassMoments:
         if self.shape != other.shape or self.max_order != other.max_order:
             raise ValueError("cannot merge accumulators with different config")
         merged = OnePassMoments(self.max_order, self.shape)
-        n_a, n_b = self.count, other.count
-        n = n_a + n_b
-        merged.count = n
-        if n == 0:
-            return merged
-        if n_a == 0:
-            merged._mean = other._mean.copy()
-            merged._m2 = other._m2.copy()
-            merged._m3 = other._m3.copy()
-            merged._m4 = other._m4.copy()
-            return merged
-        if n_b == 0:
-            merged._mean = self._mean.copy()
-            merged._m2 = self._m2.copy()
-            merged._m3 = self._m3.copy()
-            merged._m4 = self._m4.copy()
-            return merged
-        delta = other._mean - self._mean
-        merged._mean = self._mean + delta * (n_b / n)
-        merged._m2 = self._m2 + other._m2 + delta ** 2 * n_a * n_b / n
-        merged._m3 = (self._m3 + other._m3
-                      + delta ** 3 * n_a * n_b * (n_a - n_b) / n ** 2
-                      + 3.0 * delta * (n_a * other._m2 - n_b * self._m2) / n)
-        merged._m4 = (self._m4 + other._m4
-                      + delta ** 4 * n_a * n_b * (n_a ** 2 - n_a * n_b + n_b ** 2)
-                      / n ** 3
-                      + 6.0 * delta ** 2 * (n_a ** 2 * other._m2
-                                            + n_b ** 2 * self._m2) / n ** 2
-                      + 4.0 * delta * (n_a * other._m3 - n_b * self._m3) / n)
+        merged.count = self.count
+        merged._mean = self._mean.copy()
+        merged._m2 = self._m2.copy()
+        merged._m3 = self._m3.copy()
+        merged._m4 = self._m4.copy()
+        merged._combine(other.count, other._mean, other._m2, other._m3,
+                        other._m4)
         return merged

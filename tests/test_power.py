@@ -15,7 +15,7 @@ from repro.power import (
     critical_path_delay,
     overhead_report,
 )
-from repro.simulation import fixed_vs_random_campaigns
+from repro.simulation import SimulationError, fixed_vs_random_campaigns
 
 
 class TestGatePowerModel:
@@ -108,6 +108,115 @@ class TestPowerTraces:
         traces = generator.generate(fixed)
         assert traces.per_gate.shape[1] == len(masked)
         assert (traces.per_gate >= 0).sum() > 0
+
+
+class TestVectorisedEngine:
+    def test_matches_loop_exactly_without_noise(self, random_netlist):
+        # With noise disabled and no masked cells both implementations are
+        # deterministic; the vectorised engine must reproduce the per-gate
+        # loop to float32 rounding.
+        config = PowerModelConfig(noise_sigma=0.0)
+        generator = PowerTraceGenerator(random_netlist, config=config, seed=2)
+        fixed, rand = fixed_vs_random_campaigns(random_netlist, 400, seed=2)
+        for campaign in (fixed, rand):
+            vectorised = generator.generate(campaign)
+            loop = generator.generate_loop(campaign)
+            assert vectorised.gate_names == loop.gate_names
+            np.testing.assert_allclose(
+                vectorised.per_gate.astype(float), loop.per_gate,
+                rtol=1e-6, atol=1e-6)
+
+    def test_matches_loop_distribution_for_masked(self, tiny_netlist, rng):
+        # Masked composites draw randomness differently in the two
+        # implementations (lookup-table mask index vs per-gate mask bits),
+        # so compare their first two moments instead of raw samples.
+        masked = apply_masking(tiny_netlist, maskable_gates(tiny_netlist)).netlist
+        config = PowerModelConfig(noise_sigma=0.0)
+        generator = PowerTraceGenerator(masked, config=config, seed=3)
+        _, rand = fixed_vs_random_campaigns(masked, 5000, seed=3)
+        vectorised = generator.generate(rand)
+        loop = generator.generate_loop(rand)
+        for name in loop.gate_names:
+            column_vec = vectorised.gate_column(name).astype(float)
+            column_loop = loop.gate_column(name)
+            assert column_vec.mean() == pytest.approx(column_loop.mean(),
+                                                      abs=0.15)
+            assert column_vec.std() == pytest.approx(column_loop.std(),
+                                                     rel=0.15)
+
+    def test_gaussian_noise_mode_in_vectorised_engine(self, tiny_netlist):
+        config = PowerModelConfig(noise_mode="gaussian")
+        generator = PowerTraceGenerator(tiny_netlist, config=config, seed=4)
+        fixed, _ = fixed_vs_random_campaigns(tiny_netlist, 2000, seed=4)
+        traces = generator.generate(fixed)
+        reference = GatePowerModel(config=config)
+        sigma = reference.noise_sigma_abs()
+        # The fixed campaign keeps each gate's noiseless power constant, so
+        # the column spread is the configured noise sigma.
+        spreads = traces.per_gate.std(axis=0)
+        assert spreads == pytest.approx(np.full(len(tiny_netlist), sigma),
+                                        rel=0.25)
+
+    def test_fast_noise_matches_sigma(self, tiny_netlist):
+        generator = PowerTraceGenerator(tiny_netlist, seed=4)
+        fixed, _ = fixed_vs_random_campaigns(tiny_netlist, 4000, seed=4)
+        traces = generator.generate(fixed)
+        sigma = generator._model.noise_sigma_abs()
+        spreads = traces.per_gate.std(axis=0)
+        assert spreads == pytest.approx(np.full(len(tiny_netlist), sigma),
+                                        rel=0.2)
+
+    def test_invalid_noise_mode_rejected(self):
+        with pytest.raises(ValueError, match="noise_mode"):
+            PowerModelConfig(noise_mode="bogus")
+
+    def test_loop_path_honours_explicit_fast_noise(self, tiny_netlist):
+        config = PowerModelConfig(noise_mode="fast")
+        generator = PowerTraceGenerator(tiny_netlist, config=config, seed=6,
+                                        vectorised=False)
+        fixed, _ = fixed_vs_random_campaigns(tiny_netlist, 4000, seed=6)
+        traces = generator.generate(fixed)
+        sigma = generator._model.noise_sigma_abs()
+        # The popcount sampler yields a 17-point lattice per column (the
+        # fixed campaign keeps the noiseless power constant), with the
+        # configured sigma.
+        assert traces.per_gate.std(axis=0) == pytest.approx(
+            np.full(len(tiny_netlist), sigma), rel=0.2)
+        column = traces.gate_column(traces.gate_names[0])
+        assert len(np.unique(np.round(column, 9))) <= 17
+
+    def test_stream_chunks_cover_campaign(self, tiny_netlist):
+        generator = PowerTraceGenerator(tiny_netlist, seed=1)
+        fixed, _ = fixed_vs_random_campaigns(tiny_netlist, 250, seed=1)
+        chunks = list(generator.generate_stream(fixed, chunk_traces=64))
+        assert [chunk.n_traces for chunk in chunks] == [64, 64, 64, 58]
+        assert all(chunk.gate_names == generator.gate_names
+                   for chunk in chunks)
+        with pytest.raises(ValueError):
+            next(generator.generate_stream(fixed, chunk_traces=0))
+
+    def test_mask_reuse_mode_leaks_through_shares(self, tiny_netlist):
+        # mask_refresh=False models faulty masking: the shares track the
+        # data, so the masked design's share toggles become data-dependent.
+        masked = apply_masking(tiny_netlist, maskable_gates(tiny_netlist)).netlist
+        faulty = PowerTraceGenerator(
+            masked, config=PowerModelConfig(noise_sigma=0.0,
+                                            mask_refresh=False), seed=5)
+        fixed, rand = fixed_vs_random_campaigns(masked, 2000, seed=5)
+        fixed_traces, rand_traces = faulty.generate_pair((fixed, rand))
+        # A faulty-masked gate's fixed-input power collapses to (nearly)
+        # constant per trace while the random group keeps its spread.
+        assert (fixed_traces.per_gate.std(axis=0)
+                < rand_traces.per_gate.std(axis=0)).mean() > 0.5
+
+    def test_malformed_masked_gate_raises(self):
+        netlist = Netlist("broken")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")
+        netlist.add_gate("m", GateType.MASKED_AND, ["a"], "y",
+                         {"masked_from": "AND"})
+        with pytest.raises(SimulationError, match="masked gate 'm'"):
+            PowerTraceGenerator(netlist)
 
 
 class TestOverheadAnalysis:

@@ -97,6 +97,56 @@ class TestSimulation:
         np.testing.assert_array_equal(result.gate_output(tiny_netlist, "g_and"),
                                       result.net_values["n1"])
 
+    def test_empty_stimulus_raises(self, tiny_netlist):
+        with pytest.raises(SimulationError, match="no input stimulus"):
+            simulate(tiny_netlist, {})
+
+    def test_scalar_stimulus_gets_clear_error(self, tiny_netlist):
+        stimulus = {net: True for net in tiny_netlist.primary_inputs}
+        with pytest.raises(SimulationError, match="scalar stimulus"):
+            simulate(tiny_netlist, stimulus)
+
+    def test_list_stimulus_accepted(self, tiny_netlist):
+        stimulus = {net: [True, False, True]
+                    for net in tiny_netlist.primary_inputs}
+        result = simulate(tiny_netlist, stimulus)
+        assert result.n_vectors == 3
+        np.testing.assert_array_equal(
+            result.net_values["n1"], np.array([True, False, True]))
+
+    def test_mutating_returned_state_does_not_corrupt_cycles(
+            self, sequential_netlist):
+        # Regression: the simulator used to alias one shared zero buffer
+        # across undriven nets, DFF defaults and the exported next_state; a
+        # caller mutating the returned state corrupted unrelated nets.
+        simulator = LogicSimulator(sequential_netlist)
+        cycles = [
+            {"a": np.array([True, True]), "b": np.array([False, True])},
+            {"a": np.array([True, True]), "b": np.array([True, False])},
+        ]
+        reference = [r.net_values["y"].copy()
+                     for r in simulator.run_cycles(cycles)]
+
+        first = simulator.evaluate(cycles[0])
+        # Mutate the exported state in place: this must not touch any array
+        # the simulator hands out for later evaluations.
+        first.next_state["q"][:] = ~first.next_state["q"]
+        rerun = [r.net_values["y"].copy() for r in simulator.run_cycles(cycles)]
+        for expected, actual in zip(reference, rerun):
+            np.testing.assert_array_equal(expected, actual)
+
+    def test_default_state_buffer_is_read_only(self, sequential_netlist):
+        result = simulate(sequential_netlist,
+                          {"a": np.array([True]), "b": np.array([False])})
+        with pytest.raises(ValueError):
+            result.net_values["q"][:] = True
+
+    def test_state_shape_mismatch_rejected(self, sequential_netlist):
+        stimulus = {"a": np.zeros(5, bool), "b": np.zeros(5, bool)}
+        with pytest.raises(SimulationError, match="state for register"):
+            simulate(sequential_netlist, stimulus,
+                     state={"q": np.array([True])})
+
 
 class TestFunctionalEquivalence:
     def test_copy_is_equivalent(self, random_netlist):

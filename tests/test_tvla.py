@@ -11,6 +11,7 @@ from repro.tvla import (
     TVLA_THRESHOLD,
     TvlaConfig,
     assess_leakage,
+    campaign_schedule,
     compare_assessments,
     welch_from_accumulators,
     welch_from_moments,
@@ -61,6 +62,52 @@ class TestOnePassMoments:
         assert merged.variance == pytest.approx(reference.variance)
         assert merged.central_moment(3) == pytest.approx(reference.central_moment(3))
         assert merged.central_moment(4) == pytest.approx(reference.central_moment(4))
+
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_batched_update_matches_single_stream(self, rng, order):
+        # The vectorised batch merge (Chan/Pébay) must agree with folding
+        # the samples in one at a time, for every tracked order.
+        samples = rng.gamma(2.0, 1.5, size=(1003, 5))
+        sequential = OnePassMoments(max_order=order, shape=(5,))
+        for sample in samples:
+            sequential.update(sample)
+        batched = OnePassMoments(max_order=order, shape=(5,))
+        for chunk in np.array_split(samples, 7):
+            batched.update_batch(chunk)
+        assert batched.count == sequential.count
+        np.testing.assert_allclose(batched.mean, sequential.mean, rtol=1e-10)
+        np.testing.assert_allclose(batched.variance, sequential.variance,
+                                   rtol=1e-9)
+        for moment in range(2, order + 1):
+            np.testing.assert_allclose(batched.central_moment(moment),
+                                       sequential.central_moment(moment),
+                                       rtol=1e-8)
+
+    def test_merge_matches_batched_update(self, rng):
+        first = rng.normal(size=(400, 3))
+        second = rng.normal(1.0, 2.0, size=(300, 3))
+        acc_a = OnePassMoments(max_order=4, shape=(3,))
+        acc_a.update_batch(first)
+        acc_b = OnePassMoments(max_order=4, shape=(3,))
+        acc_b.update_batch(second)
+        merged = acc_a.merge(acc_b)
+        combined = OnePassMoments(max_order=4, shape=(3,))
+        combined.update_batch(np.concatenate([first, second]))
+        np.testing.assert_allclose(merged.mean, combined.mean)
+        np.testing.assert_allclose(merged.central_moment(4),
+                                   combined.central_moment(4), rtol=1e-9)
+
+    def test_empty_batch_is_a_no_op(self):
+        acc = OnePassMoments(shape=(2,))
+        acc.update_batch(np.empty((0, 2)))
+        assert acc.count == 0
+
+    def test_batch_shape_mismatch_rejected(self):
+        acc = OnePassMoments(shape=(3,))
+        with pytest.raises(ValueError):
+            acc.update_batch(np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            acc.update_batch(np.float64(1.0))
 
     def test_shape_mismatch_rejected(self):
         acc = OnePassMoments(shape=(3,))
@@ -184,3 +231,68 @@ class TestAssessment:
         summary = assess_leakage(tiny_netlist, tvla_config).summary()
         assert summary["gates"] == len(tiny_netlist)
         assert summary["n_traces"] == tvla_config.n_traces
+
+
+class TestStreamingAssessment:
+    def test_streaming_equals_two_pass(self, small_benchmark):
+        # The streaming accumulator path must reproduce the classic
+        # two-pass Welch test on identical traces (same seed, same chunk
+        # iteration) to floating-point merge error.
+        common = dict(n_traces=600, n_fixed_classes=2, seed=9,
+                      chunk_traces=128)
+        streamed = assess_leakage(small_benchmark,
+                                  TvlaConfig(streaming=True, **common))
+        two_pass = assess_leakage(small_benchmark,
+                                  TvlaConfig(streaming=False, **common))
+        assert streamed.streamed and not two_pass.streamed
+        np.testing.assert_allclose(streamed.t_values, two_pass.t_values,
+                                   rtol=0, atol=1e-9)
+        np.testing.assert_allclose(streamed.mean_abs_t, two_pass.mean_abs_t,
+                                   rtol=0, atol=1e-9)
+        np.testing.assert_allclose(streamed.degrees_of_freedom,
+                                   two_pass.degrees_of_freedom,
+                                   rtol=1e-9, atol=1e-6)
+
+    def test_streaming_auto_selection(self):
+        assert TvlaConfig(n_traces=10_000, chunk_traces=2048).resolved_streaming()
+        assert not TvlaConfig(n_traces=500, chunk_traces=2048).resolved_streaming()
+        assert TvlaConfig(n_traces=500, chunk_traces=2048,
+                          streaming=True).resolved_streaming()
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            TvlaConfig(chunk_traces=0)
+
+    def test_streamed_flag_in_assessment(self, tiny_netlist):
+        config = TvlaConfig(n_traces=300, n_fixed_classes=1, seed=3,
+                            chunk_traces=100)
+        assessment = assess_leakage(tiny_netlist, config)
+        assert assessment.streamed
+        assert assessment.summary()["streamed"]
+
+    def test_schedule_reuse_matches_internal_build(self, tiny_netlist,
+                                                   tvla_config):
+        schedule = campaign_schedule(tiny_netlist, tvla_config)
+        direct = assess_leakage(tiny_netlist, tvla_config)
+        reused = assess_leakage(tiny_netlist, tvla_config,
+                                campaigns=schedule)
+        np.testing.assert_allclose(direct.t_values, reused.t_values)
+
+    def test_schedule_validation(self, tiny_netlist, small_benchmark,
+                                 tvla_config):
+        schedule = campaign_schedule(tiny_netlist, tvla_config)
+        with pytest.raises(ValueError, match="classes"):
+            assess_leakage(tiny_netlist, tvla_config,
+                           campaigns=schedule[:1])
+        foreign = campaign_schedule(small_benchmark, tvla_config)
+        with pytest.raises(ValueError, match="primary inputs"):
+            assess_leakage(tiny_netlist, tvla_config, campaigns=foreign)
+
+    def test_foreign_generator_rejected(self, tiny_netlist, small_benchmark,
+                                        tvla_config):
+        from repro.power import PowerTraceGenerator
+        foreign = PowerTraceGenerator(small_benchmark,
+                                      config=tvla_config.power,
+                                      seed=tvla_config.seed)
+        with pytest.raises(ValueError, match="generator was built"):
+            assess_leakage(tiny_netlist, tvla_config, generator=foreign)

@@ -33,6 +33,19 @@ class TestVectorGeneration:
         np.testing.assert_array_equal(fixed_vector(16, seed=3), fixed_vector(16, seed=3))
         assert not np.array_equal(fixed_vector(16, seed=3), fixed_vector(16, seed=4))
 
+    def test_campaign_slice(self, tiny_netlist):
+        fixed, rand = fixed_vs_random_campaigns(tiny_netlist, 20, seed=1)
+        chunk = rand.slice(5, 12)
+        assert chunk.n_traces == 7
+        assert chunk.label == rand.label
+        assert chunk.input_names == rand.input_names
+        np.testing.assert_array_equal(chunk.previous, rand.previous[5:12])
+        np.testing.assert_array_equal(chunk.current, rand.current[5:12])
+        with pytest.raises(ValueError):
+            rand.slice(5, 25)
+        with pytest.raises(ValueError):
+            rand.slice(-1, 4)
+
     def test_input_matrix_to_dict(self):
         matrix = np.array([[1, 0], [0, 1]], dtype=bool)
         result = input_matrix_to_dict(matrix, ["a", "b"])

@@ -19,8 +19,20 @@ from repro.workloads import WorkloadConfig, evaluation_designs, training_designs
 def recorder() -> ExperimentRecorder:
     fixture_recorder = ExperimentRecorder(RESULTS_DIR)
     yield fixture_recorder
-    if fixture_recorder.records:
-        fixture_recorder.save("latest.json")
+    if not fixture_recorder.records:
+        return
+    # Merge with the existing latest.json instead of overwriting it: a
+    # partial run (e.g. the default `-m "not slow"` selection, or a single
+    # bench module) refreshes only the experiments it re-ran and keeps the
+    # records of everything else (such as the slow 10k-trace microbenches).
+    latest = RESULTS_DIR / "latest.json"
+    if latest.exists():
+        fresh_ids = {record.experiment_id
+                     for record in fixture_recorder.records}
+        kept = [record for record in ExperimentRecorder.load(latest)
+                if record.experiment_id not in fresh_ids]
+        fixture_recorder.records = kept + fixture_recorder.records
+    fixture_recorder.save("latest.json")
 
 
 @pytest.fixture(scope="session")

@@ -9,11 +9,17 @@ two-pass), structural feature extraction, and model inference.
 
 The vectorised-vs-loop comparison is recorded in
 ``benchmarks/results/latest.json`` (experiment id
-``microbench_trace_generation``).
+``microbench_trace_generation``), and the shard-count scaling curve of the
+sharded TVLA driver as ``microbench_sharded_tvla_scaling``.
+
+The 10k-trace benches are marked ``slow``: they are deselected by default
+(see ``pytest.ini``) and in CI; run them with ``pytest -m slow benchmarks``
+or the whole suite with ``pytest -m ""``.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import timeit
 
@@ -26,7 +32,13 @@ from repro.masking import apply_masking, maskable_gates
 from repro.netlist import load_benchmark
 from repro.power import PowerTraceGenerator
 from repro.simulation import LogicSimulator, fixed_vs_random_campaigns
-from repro.tvla import OnePassMoments, TvlaConfig, assess_leakage, welch_t_test
+from repro.tvla import (
+    OnePassMoments,
+    TvlaConfig,
+    assess_leakage,
+    assess_leakage_sharded,
+    welch_t_test,
+)
 
 from bench_common import BENCH_SCALE
 
@@ -73,6 +85,7 @@ def test_power_trace_generation_throughput(benchmark, design):
     assert traces.per_gate.shape == (500, len(design))
 
 
+@pytest.mark.slow
 def test_trace_generation_vectorised_vs_loop(comparison_design, masked_design,
                                              recorder):
     """Paper-scale (10,000-trace) vectorised vs per-gate-loop comparison.
@@ -124,6 +137,7 @@ def test_tvla_assessment_throughput(benchmark, design):
     assert len(assessment.gate_names) == len(design)
 
 
+@pytest.mark.slow
 def test_streaming_assessment_paper_scale(masked_design, recorder):
     """10,000-trace streaming TVLA campaign — the paper-scale scenario.
 
@@ -149,6 +163,61 @@ def test_streaming_assessment_paper_scale(masked_design, recorder):
             "seconds": elapsed,
             "traces_per_second": 2 * PAPER_TRACES / elapsed,
         }],
+    ))
+
+
+@pytest.mark.slow
+def test_sharded_tvla_scaling(masked_design, recorder):
+    """Shard-count scaling of a 10,000-trace sharded TVLA campaign.
+
+    Runs the same campaign with 1/2/4 workers on both pool executors and
+    records the scaling curve in ``latest.json``.  Chunk size 1024 gives 10
+    chunks, so 4 shards still get a balanced 3/3/2/2 split.  Correctness is
+    asserted against the serial streaming driver (~1e-12); the speedups are
+    recorded together with the host's CPU count but not asserted — on a
+    single-core CI container the curve documents pure sharding overhead,
+    while multi-core hosts see the process executor scale with the shard
+    count (the thread executor is bounded by the simulator's per-gate
+    Python loop holding the GIL).
+    """
+    config = TvlaConfig(n_traces=PAPER_TRACES, n_fixed_classes=1, seed=2,
+                        chunk_traces=1024, streaming=True)
+    start = time.perf_counter()
+    reference = assess_leakage(masked_design, config)
+    serial_seconds = time.perf_counter() - start
+
+    rows = []
+    for executor in ("thread", "process"):
+        for n_shards in (1, 2, 4):
+            start = time.perf_counter()
+            sharded = assess_leakage_sharded(masked_design, config,
+                                             n_shards=n_shards,
+                                             executor=executor,
+                                             max_workers=n_shards)
+            elapsed = time.perf_counter() - start
+            np.testing.assert_allclose(sharded.t_values, reference.t_values,
+                                       rtol=1e-12, atol=1e-12)
+            rows.append({
+                "design": masked_design.name,
+                "executor": executor,
+                "n_shards": n_shards,
+                "n_gates": len(masked_design),
+                "seconds": elapsed,
+                "speedup_vs_serial": serial_seconds / elapsed,
+                "traces_per_second": 2 * PAPER_TRACES / elapsed,
+            })
+
+    recorder.record(ExperimentRecord(
+        experiment_id="microbench_sharded_tvla_scaling",
+        description=("Sharded streaming TVLA campaign at 10,000 traces: "
+                     "shard-count scaling (1/2/4 workers, thread and "
+                     "process executors)"),
+        parameters={"scale": max(BENCH_SCALE, 0.35),
+                    "n_traces": PAPER_TRACES,
+                    "chunk_traces": config.chunk_traces,
+                    "serial_seconds": serial_seconds,
+                    "cpu_count": os.cpu_count()},
+        rows=rows,
     ))
 
 

@@ -127,9 +127,21 @@ class PolarisConfig:
                                 **overrides)
         return replace(self, model=model)
 
+    def with_tvla_order(self, tvla_order: int) -> "PolarisConfig":
+        """Return a copy whose TVLA campaigns evaluate up to ``tvla_order``.
+
+        Higher-order (order-2 variance / order-3 skewness) t-tests are what
+        masked designs are evaluated against in practice; the knob threads
+        straight into :class:`repro.tvla.TvlaConfig` so cognition
+        generation, before/after protection assessments and the sharded
+        drivers all report the configured orders.
+        """
+        return replace(self, tvla=replace(self.tvla, tvla_order=tvla_order))
+
 
 def paper_configuration(chunk_traces: int = 2048,
-                        streaming: Optional[bool] = None) -> PolarisConfig:
+                        streaming: Optional[bool] = None,
+                        tvla_order: int = 1) -> PolarisConfig:
     """The exact parameterisation reported in §V-A of the paper.
 
     (10,000 TVLA traces, ``Msize = 200``, ``L = 7``, ``itr = 100``,
@@ -142,6 +154,9 @@ def paper_configuration(chunk_traces: int = 2048,
             trace memory stays ``O(chunk_traces × n_gates)``.
         streaming: Force (True/False) or auto-select (None) the streaming
             accumulator path; see :class:`repro.tvla.TvlaConfig`.
+        tvla_order: Highest TVLA order assessed (1, 2 or 3).  The paper
+            reports first-order TVLA; orders 2/3 evaluate the masked
+            results against the Schneider & Moradi higher-order tests.
     """
     return PolarisConfig(
         msize=200,
@@ -149,6 +164,7 @@ def paper_configuration(chunk_traces: int = 2048,
         iterations=100,
         theta_r=0.70,
         tvla=TvlaConfig(n_traces=10_000, power=PowerModelConfig(),
-                        chunk_traces=chunk_traces, streaming=streaming),
+                        chunk_traces=chunk_traces, streaming=streaming,
+                        tvla_order=tvla_order),
         model=ModelConfig(model_type="adaboost", learning_rate=0.01),
     )

@@ -31,6 +31,7 @@ from ..tvla.assessment import (
     campaign_schedule,
     compare_assessments,
 )
+from ..tvla.sharding import assess_leakage_sharded
 from ..xai.explain import Explanation
 from ..xai.rules import RuleExtractor, RuleSet
 from ..xai.tree_shap import TreeShapExplainer
@@ -103,7 +104,10 @@ class ProtectionReport:
         after: TVLA assessment of the protected design (None if evaluation
             was skipped).
         leakage: Summary dict from
-            :func:`repro.tvla.assessment.compare_assessments`.
+            :func:`repro.tvla.assessment.compare_assessments`; when the
+            TVLA configuration evaluates higher orders it additionally
+            carries ``order{k}_before_leaky`` / ``order{k}_after_leaky`` /
+            ``order{k}_mean_abs_t_reduction_pct`` entries.
         original_metrics: Area/power/delay of the original design.
         masked_metrics: Area/power/delay of the protected design.
         overheads: Flat overhead report (Table IV layout).
@@ -125,6 +129,21 @@ class ProtectionReport:
     def leakage_reduction_pct(self) -> float:
         """Total leakage reduction percentage (Table II metric)."""
         return float(self.leakage.get("leakage_reduction_pct", 0.0))
+
+    def order_results(self) -> Dict[int, Dict[str, float]]:
+        """Per-TVLA-order before/after summary (orders 2+ when evaluated)."""
+        orders: Dict[int, Dict[str, float]] = {}
+        if self.after is None:
+            return orders
+        for order in sorted(set(self.before.order_t_values)
+                            & set(self.after.order_t_values)):
+            orders[order] = {
+                "before_leaky": self.leakage.get(f"order{order}_before_leaky", 0),
+                "after_leaky": self.leakage.get(f"order{order}_after_leaky", 0),
+                "mean_abs_t_reduction_pct": self.leakage.get(
+                    f"order{order}_mean_abs_t_reduction_pct", 0.0),
+            }
+        return orders
 
 
 def train_polaris(designs: Sequence[Netlist],
@@ -155,6 +174,8 @@ def protect_design(
     budget_from_leaky: bool = True,
     evaluate: bool = True,
     before: Optional[LeakageAssessment] = None,
+    n_shards: int = 1,
+    executor: str = "thread",
 ) -> ProtectionReport:
     """Protect ``netlist`` with a trained POLARIS instance.
 
@@ -169,6 +190,9 @@ def protect_design(
         evaluate: Run a TVLA assessment of the protected design (reporting).
         before: Optionally reuse an existing baseline assessment instead of
             re-running TVLA on the original design.
+        n_shards: Split each TVLA campaign into this many parallel shards
+            (see :mod:`repro.tvla.sharding`); 1 keeps the serial driver.
+        executor: Shard executor selector when ``n_shards > 1``.
 
     Returns:
         A :class:`ProtectionReport`.
@@ -186,9 +210,16 @@ def protect_design(
             schedule = campaign_schedule(netlist, config.tvla)
         return schedule
 
+    def run_assessment(design, campaigns):
+        if n_shards > 1:
+            return assess_leakage_sharded(design, config.tvla,
+                                          n_shards=n_shards,
+                                          executor=executor,
+                                          campaigns=campaigns)
+        return assess_leakage(design, config.tvla, campaigns=campaigns)
+
     if before is None:
-        before = assess_leakage(netlist, config.tvla,
-                                campaigns=shared_schedule())
+        before = run_assessment(netlist, shared_schedule())
 
     if budget_from_leaky:
         budget = int(round(mask_fraction * before.n_leaky))
@@ -210,8 +241,8 @@ def protect_design(
         masked_netlist = outcome.masked_netlist
         reuse = (tuple(masked_netlist.primary_inputs)
                  == tuple(netlist.primary_inputs))
-        after = assess_leakage(masked_netlist, config.tvla,
-                               campaigns=shared_schedule() if reuse else None)
+        after = run_assessment(masked_netlist,
+                               shared_schedule() if reuse else None)
         leakage = compare_assessments(before, after)
     else:
         leakage = {"before_mean_leakage": before.mean_leakage}

@@ -156,6 +156,7 @@ class GatePowerModel:
         data_prev: Tuple[np.ndarray, np.ndarray],
         data_cur: Tuple[np.ndarray, np.ndarray],
         glitch_input_factor: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Power of a masked composite cell from its internal share toggles.
 
@@ -168,6 +169,10 @@ class GatePowerModel:
                 leakage reflecting how glitchy the gate's fan-in cone is
                 (computed by the trace generator from the driver gate types
                 via :meth:`input_glitch_factor`).
+            rng: Generator for the fresh mask bits; defaults to the model's
+                own stream.  The chunked TVLA driver passes per-chunk
+                ``SeedSequence``-spawned generators so draws are independent
+                of how a campaign is chunked or sharded.
 
         Returns:
             Float array (n_traces,) of noiseless power samples.
@@ -175,14 +180,16 @@ class GatePowerModel:
         a_prev, b_prev = data_prev
         a_cur, b_cur = data_cur
         n_traces = a_cur.shape[0]
-        nodes_prev = self._masked_internal_nodes(gate.gate_type, a_prev, b_prev)
+        nodes_prev = self._masked_internal_nodes(gate.gate_type, a_prev, b_prev,
+                                                 rng=rng)
         if self.config.mask_refresh:
-            nodes_cur = self._masked_internal_nodes(gate.gate_type, a_cur, b_cur)
+            nodes_cur = self._masked_internal_nodes(gate.gate_type, a_cur, b_cur,
+                                                    rng=rng)
         else:
             # Faulty masking: reuse the previous masks, so the shares track
             # the data and leakage persists (used by negative tests).
             nodes_cur = self._masked_internal_nodes(
-                gate.gate_type, a_cur, b_cur, reuse_last_masks=True)
+                gate.gate_type, a_cur, b_cur, reuse_last_masks=True, rng=rng)
         toggles = np.zeros(n_traces, dtype=float)
         for name in nodes_cur:
             toggles += np.logical_xor(nodes_prev[name], nodes_cur[name]).astype(float)
@@ -236,12 +243,20 @@ class GatePowerModel:
         fraction = float(np.clip(xor_driver_fraction, 0.0, 1.0))
         return self.config.masked_glitch_base + self.config.masked_glitch_xor * fraction
 
-    def add_noise(self, power: np.ndarray) -> np.ndarray:
-        """Add Gaussian measurement noise to a power sample array."""
+    def add_noise(self, power: np.ndarray,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Add Gaussian measurement noise to a power sample array.
+
+        Args:
+            power: Noiseless samples.
+            rng: Generator for the noise draws; defaults to the model's own
+                sequential stream.
+        """
         sigma = self.noise_sigma_abs()
         if sigma <= 0:
             return power
-        return power + self._rng.normal(0.0, sigma, size=power.shape)
+        rng = rng if rng is not None else self._rng
+        return power + rng.normal(0.0, sigma, size=power.shape)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -311,15 +326,17 @@ class GatePowerModel:
         a: np.ndarray,
         b: np.ndarray,
         reuse_last_masks: bool = False,
+        rng: Optional[np.random.Generator] = None,
     ) -> Dict[str, np.ndarray]:
         """Masked-composite node values for one stimulus with drawn masks."""
         if reuse_last_masks and hasattr(self, "_last_masks"):
             x, y, z = self._last_masks  # type: ignore[attr-defined]
         else:
+            rng = rng if rng is not None else self._rng
             size = a.shape
-            x = self._rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
-            y = self._rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
-            z = self._rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
+            x = rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
+            y = rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
+            z = rng.integers(0, 2, size=size, dtype=np.uint8).astype(bool)
             self._last_masks = (x, y, z)
         return self._masked_nodes_for(gate_type, a, b, x, y, z)
 

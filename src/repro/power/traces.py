@@ -22,14 +22,18 @@ Two implementations coexist:
 :meth:`PowerTraceGenerator.generate_stream` slices a campaign into chunks so
 the streaming TVLA driver (:func:`repro.tvla.assessment.assess_leakage`) can
 fold traces into one-pass moment accumulators without ever materialising the
-full ``(n_traces, n_gates)`` matrix.
+full ``(n_traces, n_gates)`` matrix.  Passing per-chunk ``seeds`` (spawned
+from a :class:`numpy.random.SeedSequence`) makes every chunk's mask/noise
+draws a pure function of its global chunk index, which is what lets
+:mod:`repro.tvla.sharding` split one campaign across workers and still
+produce t-values identical to the serial run for a given seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -327,25 +331,62 @@ class PowerTraceGenerator:
     # ------------------------------------------------------------------
     # Generation
     # ------------------------------------------------------------------
-    def generate(self, campaign: TraceCampaign) -> PowerTraces:
-        """Simulate ``campaign`` and return its per-gate power traces."""
-        if not self.vectorised:
-            return self.generate_loop(campaign)
-        return self._generate_vectorised(campaign)
+    def generate(self, campaign: TraceCampaign,
+                 rng: Optional[np.random.Generator] = None) -> PowerTraces:
+        """Simulate ``campaign`` and return its per-gate power traces.
 
-    def generate_stream(self, campaign: TraceCampaign,
-                        chunk_traces: int) -> Iterator[PowerTraces]:
+        Args:
+            campaign: The stimulus campaign to trace.
+            rng: Generator for mask and noise draws.  Defaults to the
+                model's own sequential stream (legacy behaviour); the
+                chunked TVLA driver passes per-chunk spawned generators so
+                draws do not depend on chunk/shard layout.  With an
+                explicit ``rng`` the vectorised engine mutates no generator
+                state, so one :class:`PowerTraceGenerator` can be shared by
+                concurrent shard threads.
+        """
+        if not self.vectorised:
+            return self.generate_loop(campaign, rng=rng)
+        return self._generate_vectorised(campaign, rng=rng)
+
+    def generate_stream(
+        self,
+        campaign: TraceCampaign,
+        chunk_traces: int,
+        seeds: Optional[Sequence[Union[int, np.random.SeedSequence]]] = None,
+    ) -> Iterator[PowerTraces]:
         """Yield ``campaign``'s traces in chunks of at most ``chunk_traces``.
 
         Memory use is bounded by ``chunk_traces * n_gates`` samples, which
         is what makes paper-scale streaming TVLA campaigns O(n_gates) in the
         number of traces.
+
+        Args:
+            campaign: The stimulus campaign (possibly a shard's sub-range).
+            chunk_traces: Maximum traces per yielded block.
+            seeds: Optional per-chunk RNG seeds (ints or ``SeedSequence``
+                objects), one per chunk of this campaign in order.  When
+                given, each chunk's mask/noise draws come from a fresh
+                ``numpy.random.default_rng(seed)`` instead of the model's
+                sequential stream, making the generated traces independent
+                of how the surrounding campaign was chunked or sharded.
+
+        Raises:
+            ValueError: if ``chunk_traces < 1`` or ``seeds`` does not have
+                exactly one entry per chunk.
         """
         if chunk_traces < 1:
             raise ValueError("chunk_traces must be >= 1")
         n = campaign.n_traces
-        for start in range(0, n, chunk_traces):
-            yield self.generate(campaign.slice(start, min(n, start + chunk_traces)))
+        n_chunks = (n + chunk_traces - 1) // chunk_traces
+        if seeds is not None and len(seeds) != n_chunks:
+            raise ValueError(
+                f"got {len(seeds)} chunk seeds for {n_chunks} chunks")
+        for index, start in enumerate(range(0, n, chunk_traces)):
+            rng = (np.random.default_rng(seeds[index])
+                   if seeds is not None else None)
+            yield self.generate(campaign.slice(start, min(n, start + chunk_traces)),
+                                rng=rng)
 
     def generate_pair(
         self, campaigns: Tuple[TraceCampaign, TraceCampaign]
@@ -369,7 +410,9 @@ class PowerTraceGenerator:
                 matrix[index] = value
         return matrix.view(np.uint8)
 
-    def _generate_vectorised(self, campaign: TraceCampaign) -> PowerTraces:
+    def _generate_vectorised(self, campaign: TraceCampaign,
+                             rng: Optional[np.random.Generator] = None,
+                             ) -> PowerTraces:
         prev_inputs, cur_inputs = campaign.as_dicts()
         previous = self._simulator.evaluate(prev_inputs)
         current = self._simulator.evaluate(cur_inputs)
@@ -386,7 +429,7 @@ class PowerTraceGenerator:
 
         net_prev = self._net_matrix(previous)
         net_cur = self._net_matrix(current)
-        rng = self._model._rng
+        rng = rng if rng is not None else self._model._rng
         noise_mode = self._resolved_noise_mode(vectorised=True)
         sigma = self._model.noise_sigma_abs()
         # The popcount sampler's -E[count]*scale centring term is folded
@@ -445,14 +488,16 @@ class PowerTraceGenerator:
         return PowerTraces(campaign.label, self.gate_names, per_gate, total)
 
     # ------------------------------------------------------------------
-    def generate_loop(self, campaign: TraceCampaign) -> PowerTraces:
+    def generate_loop(self, campaign: TraceCampaign,
+                      rng: Optional[np.random.Generator] = None) -> PowerTraces:
         """Reference per-gate loop implementation.
 
         Kept from the original engine for regression tests and the
         vectorised-vs-loop microbenchmark; ``generate`` is the fast path.
         With ``noise_mode="auto"`` (or ``"gaussian"``) this path adds exact
         Gaussian noise, as the original engine did; an explicit ``"fast"``
-        setting is honoured with the popcount sampler.
+        setting is honoured with the popcount sampler.  ``rng`` overrides
+        the model's sequential mask/noise stream (see :meth:`generate`).
         """
         prev_inputs, cur_inputs = campaign.as_dicts()
         previous = self._simulator.evaluate(prev_inputs)
@@ -461,7 +506,7 @@ class PowerTraceGenerator:
         noise_mode = self._resolved_noise_mode(vectorised=False)
         sigma = self._model.noise_sigma_abs()
         noise_scale = sigma / np.sqrt(_FAST_NOISE_BITS / 4.0)
-        rng = self._model._rng
+        rng = rng if rng is not None else self._model._rng
 
         n_traces = campaign.n_traces
         per_gate = np.zeros((n_traces, len(self._gates)), dtype=float)
@@ -473,6 +518,7 @@ class PowerTraceGenerator:
                     (previous.net_values[a_net], previous.net_values[b_net]),
                     (current.net_values[a_net], current.net_values[b_net]),
                     glitch_input_factor=self._glitch_factors.get(gate.name, 1.0),
+                    rng=rng,
                 )
             else:
                 if gate.gate_type.is_sequential:
@@ -493,7 +539,7 @@ class PowerTraceGenerator:
                 power = power + (counts - _FAST_NOISE_BITS / 2.0) * noise_scale
                 per_gate[:, column] = power
             else:
-                per_gate[:, column] = self._model.add_noise(power)
+                per_gate[:, column] = self._model.add_noise(power, rng=rng)
 
         total = per_gate.sum(axis=1)
         return PowerTraces(campaign.label, self.gate_names, per_gate, total)

@@ -4,28 +4,46 @@ from .moments import OnePassMoments
 from .welch import (
     TVLA_THRESHOLD,
     WelchResult,
+    moment_order_for_tvla,
     welch_from_accumulators,
     welch_from_moments,
+    welch_higher_order,
     welch_t_test,
 )
 from .assessment import (
     LeakageAssessment,
+    SUPPORTED_TVLA_ORDERS,
     TvlaConfig,
     assess_leakage,
     campaign_schedule,
+    chunk_seed_streams,
     compare_assessments,
+)
+from .sharding import (
+    EXECUTORS,
+    assess_leakage_sharded,
+    assess_many,
+    shard_trace_ranges,
 )
 
 __all__ = [
     "OnePassMoments",
     "TVLA_THRESHOLD",
     "WelchResult",
+    "moment_order_for_tvla",
     "welch_from_accumulators",
     "welch_from_moments",
+    "welch_higher_order",
     "welch_t_test",
     "LeakageAssessment",
+    "SUPPORTED_TVLA_ORDERS",
     "TvlaConfig",
     "assess_leakage",
     "campaign_schedule",
+    "chunk_seed_streams",
     "compare_assessments",
+    "EXECUTORS",
+    "assess_leakage_sharded",
+    "assess_many",
+    "shard_trace_ranges",
 ]

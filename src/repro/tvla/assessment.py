@@ -15,6 +15,18 @@ count) or stacked into full matrices for the classic two-pass Welch test.
 Both modes consume identical traces, so their t-values agree to floating-
 point merge error (~1e-12); streaming is selected automatically for
 paper-scale campaigns.
+
+Every chunk's mask/noise randomness derives from a dedicated
+``numpy.random.SeedSequence`` spawned per ``(seed, class, group, chunk)``
+(:func:`chunk_seed_streams`), so for a given ``TvlaConfig.seed`` and
+``chunk_traces`` the generated traces — and therefore the t-values — are
+identical no matter how the campaign is chunked across workers.  That is
+the property :mod:`repro.tvla.sharding` builds on to split campaigns over
+thread/process pools and merge the partial accumulators losslessly.
+
+With ``TvlaConfig.tvla_order > 1`` the driver additionally evaluates the
+higher-order (centered-variance / standardised-skewness) t-tests from the
+same accumulators; see :func:`repro.tvla.welch.welch_higher_order`.
 """
 
 from __future__ import annotations
@@ -22,7 +34,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,12 +50,18 @@ from .moments import OnePassMoments
 from .welch import (
     TVLA_THRESHOLD,
     WelchResult,
+    moment_order_for_tvla,
     welch_from_accumulators,
+    welch_higher_order,
     welch_t_test,
 )
 
 #: A (group0, group1) campaign pair, one per fixed class.
 CampaignPair = Tuple[TraceCampaign, TraceCampaign]
+
+#: TVLA orders the engine knows how to evaluate (paper order 1 plus the
+#: Schneider & Moradi order-2/3 extensions backed by the moment engine).
+SUPPORTED_TVLA_ORDERS = (1, 2, 3)
 
 
 @dataclass(frozen=True)
@@ -66,11 +84,17 @@ class TvlaConfig:
         chunk_traces: Trace-block size of the chunked campaign driver; each
             group is simulated and folded/stacked ``chunk_traces`` rows at a
             time.  Bounds peak trace memory in streaming mode and keeps the
-            matrix pipeline cache-resident.
+            matrix pipeline cache-resident.  Also the granularity of shard
+            boundaries and of the per-chunk spawned RNG streams, so results
+            depend on ``chunk_traces`` but **not** on the shard layout.
         streaming: ``True`` forces one-pass streaming accumulation,
             ``False`` forces the two-pass matrix test, ``None`` (default)
             streams automatically whenever a group exceeds one chunk (i.e.
             for paper-scale campaigns).
+        tvla_order: Highest TVLA order to evaluate (1, 2 or 3).  Orders
+            above 1 are computed from the moment accumulators (the engine
+            tracks central moments up to ``2 * tvla_order``), so they force
+            the streaming path regardless of ``streaming``.
     """
 
     n_traces: int = 1000
@@ -81,16 +105,35 @@ class TvlaConfig:
     power: PowerModelConfig = field(default_factory=PowerModelConfig)
     chunk_traces: int = 2048
     streaming: Optional[bool] = None
+    tvla_order: int = 1
 
     def __post_init__(self) -> None:
         if self.chunk_traces < 1:
             raise ValueError("chunk_traces must be >= 1")
+        if self.tvla_order not in SUPPORTED_TVLA_ORDERS:
+            raise ValueError(
+                f"tvla_order must be one of {SUPPORTED_TVLA_ORDERS}, "
+                f"got {self.tvla_order!r}")
 
     def resolved_streaming(self) -> bool:
-        """Whether assessments with this config stream their moments."""
+        """Whether assessments with this config stream their moments.
+
+        Higher-order testing always streams: the order-2/3 statistics are
+        functions of the central-moment accumulators.
+        """
+        if self.tvla_order > 1:
+            return True
         if self.streaming is not None:
             return self.streaming
         return self.n_traces > self.chunk_traces
+
+    def moment_order(self) -> int:
+        """Accumulator ``max_order`` required by ``tvla_order``."""
+        return moment_order_for_tvla(self.tvla_order)
+
+    def n_chunks(self) -> int:
+        """Number of trace chunks per campaign group."""
+        return (self.n_traces + self.chunk_traces - 1) // self.chunk_traces
 
 
 @dataclass
@@ -100,13 +143,18 @@ class LeakageAssessment:
     Attributes:
         design_name: Name of the assessed netlist.
         gate_names: Gate order of the arrays below.
-        t_values: Welch t statistic per gate.
+        t_values: Order-1 Welch t statistic per gate (worst fixed class).
         degrees_of_freedom: Welch degrees of freedom per gate.
         threshold: |t| threshold used to call a gate leaky.
         n_traces: Traces per group used for the assessment.
         elapsed_seconds: Wall-clock time of the assessment.
         mean_abs_t: Mean |t| across the fixed classes (None for one class).
         streamed: Whether the one-pass streaming accumulator path was used.
+        tvla_order: Highest TVLA order evaluated.
+        order_t_values: Per-gate worst-class t statistic of each evaluated
+            higher order (keys 2, 3, ...; empty when ``tvla_order == 1``).
+        n_shards: Number of shards the campaign was split into (1 for the
+            serial driver).
     """
 
     design_name: str
@@ -118,6 +166,9 @@ class LeakageAssessment:
     elapsed_seconds: float
     mean_abs_t: Optional[np.ndarray] = None
     streamed: bool = False
+    tvla_order: int = 1
+    order_t_values: Dict[int, np.ndarray] = field(default_factory=dict)
+    n_shards: int = 1
 
     @cached_property
     def _name_index(self) -> Dict[str, int]:
@@ -163,6 +214,30 @@ class LeakageAssessment:
         """Number of leaky gates."""
         return int(self.leaky_mask.sum())
 
+    # ------------------------------------------------------------------
+    def t_values_for_order(self, order: int) -> np.ndarray:
+        """Per-gate worst-class t statistic of one evaluated TVLA order.
+
+        Raises:
+            KeyError: if that order was not evaluated.
+        """
+        if order == 1:
+            return self.t_values
+        values = self.order_t_values.get(order)
+        if values is None:
+            raise KeyError(
+                f"order-{order} TVLA was not evaluated "
+                f"(tvla_order={self.tvla_order})")
+        return values
+
+    def leaky_mask_for_order(self, order: int) -> np.ndarray:
+        """Boolean leaky mask of one evaluated TVLA order."""
+        return np.abs(self.t_values_for_order(order)) > self.threshold
+
+    def n_leaky_for_order(self, order: int) -> int:
+        """Number of gates failing TVLA at ``order``."""
+        return int(self.leaky_mask_for_order(order).sum())
+
     def gate_leakage(self, gate_name: str) -> float:
         """Normalised leakage value of one gate.
 
@@ -188,7 +263,7 @@ class LeakageAssessment:
 
     def summary(self) -> Dict[str, float]:
         """Aggregate statistics used by reports and benches."""
-        return {
+        summary = {
             "design": self.design_name,
             "gates": len(self.gate_names),
             "leaky_gates": self.n_leaky,
@@ -197,7 +272,12 @@ class LeakageAssessment:
             "n_traces": self.n_traces,
             "elapsed_seconds": self.elapsed_seconds,
             "streamed": self.streamed,
+            "tvla_order": self.tvla_order,
+            "n_shards": self.n_shards,
         }
+        for order in sorted(self.order_t_values):
+            summary[f"leaky_gates_order{order}"] = self.n_leaky_for_order(order)
+        return summary
 
 
 def campaign_schedule(netlist: Netlist,
@@ -229,34 +309,191 @@ def campaign_schedule(netlist: Netlist,
     return tuple(schedule)
 
 
-def _class_welch(generator: PowerTraceGenerator, pair: CampaignPair,
-                 config: TvlaConfig, streamed: bool) -> WelchResult:
-    """Welch's t-test for one fixed class via the chunked trace driver.
+# ----------------------------------------------------------------------
+# Per-chunk RNG streams and accumulation (shared with repro.tvla.sharding)
+# ----------------------------------------------------------------------
+def chunk_seed_streams(seed: int, class_index: int, group_index: int,
+                       n_chunks: int) -> List[np.random.SeedSequence]:
+    """Per-chunk mask/noise seed streams of one campaign group.
 
-    Both modes pull traces through the same chunk iteration (same generator
-    RNG consumption), so the streaming result equals the two-pass result up
-    to the floating-point error of the moment merge.
+    Derived by nested ``numpy.random.SeedSequence.spawn``: the campaign
+    root spawns one child per fixed class, each class one child per group
+    and each group one child per trace chunk.  A chunk's stream is
+    therefore a pure function of ``(seed, class, group, chunk index)`` —
+    independent streams that are reproducible regardless of which worker
+    or shard processes the chunk.
     """
-    group0, group1 = pair
-    chunk = min(group0.n_traces, config.chunk_traces)
-    # zip pulls group0's chunk before group1's each round, fixing one
-    # generator-RNG consumption order shared by both modes.
-    chunk_pairs = zip(generator.generate_stream(group0, chunk),
-                      generator.generate_stream(group1, chunk))
+    root = np.random.SeedSequence(seed)
+    class_seq = root.spawn(class_index + 1)[class_index]
+    group_seq = class_seq.spawn(group_index + 1)[group_index]
+    return group_seq.spawn(n_chunks)
+
+
+def accumulate_campaign_slice(
+    generator: PowerTraceGenerator,
+    pair: CampaignPair,
+    config: TvlaConfig,
+    class_index: int,
+    first_chunk: int = 0,
+) -> Tuple[OnePassMoments, OnePassMoments]:
+    """Fold one class's (sliced) campaign pair into fresh moment accumulators.
+
+    Args:
+        generator: Trace generator of the assessed netlist.
+        pair: The class's ``(group0, group1)`` campaigns — either the full
+            campaigns or a chunk-aligned shard slice of both.
+        config: Campaign configuration (defines chunk size and seeds).
+        class_index: Index of the fixed class (selects the seed stream).
+        first_chunk: Global index of the slice's first chunk; shards pass
+            their offset so every chunk consumes the same spawned RNG
+            stream it would consume in the serial run.
+
+    Returns:
+        ``(acc0, acc1)`` accumulators tracking central moments up to
+        ``config.moment_order()``.
+    """
+    shape = (generator.n_gates,)
+    max_order = config.moment_order()
+    accumulators = (OnePassMoments(max_order=max_order, shape=shape),
+                    OnePassMoments(max_order=max_order, shape=shape))
+    n_chunks_total = config.n_chunks()
+    for group_index, campaign in enumerate(pair):
+        n_local = (campaign.n_traces + config.chunk_traces - 1) // config.chunk_traces
+        seeds = chunk_seed_streams(config.seed, class_index, group_index,
+                                   n_chunks_total)[first_chunk:first_chunk + n_local]
+        for traces in generator.generate_stream(campaign, config.chunk_traces,
+                                                seeds=seeds):
+            accumulators[group_index].update_batch(traces.per_gate)
+    return accumulators
+
+
+def results_from_accumulators(acc0: OnePassMoments, acc1: OnePassMoments,
+                              config: TvlaConfig) -> Dict[int, WelchResult]:
+    """Welch results for every configured TVLA order from merged moments."""
+    results = {1: welch_from_accumulators(acc0, acc1)}
+    for order in range(2, config.tvla_order + 1):
+        results[order] = welch_higher_order(acc0, acc1, order)
+    return results
+
+
+def _class_results(generator: PowerTraceGenerator, pair: CampaignPair,
+                   config: TvlaConfig, class_index: int,
+                   streamed: bool) -> Dict[int, WelchResult]:
+    """Per-order Welch's t-tests for one fixed class via the chunked driver.
+
+    Both modes pull identical traces (same per-chunk spawned RNG streams),
+    so the streaming result equals the two-pass result up to the
+    floating-point error of the moment merge.
+    """
     if streamed:
-        shape = (generator.n_gates,)
-        acc0 = OnePassMoments(max_order=2, shape=shape)
-        acc1 = OnePassMoments(max_order=2, shape=shape)
-        for traces0, traces1 in chunk_pairs:
-            acc0.update_batch(traces0.per_gate)
-            acc1.update_batch(traces1.per_gate)
-        return welch_from_accumulators(acc0, acc1)
-    blocks0 = []
-    blocks1 = []
-    for traces0, traces1 in chunk_pairs:
-        blocks0.append(traces0.per_gate)
-        blocks1.append(traces1.per_gate)
-    return welch_t_test(np.concatenate(blocks0), np.concatenate(blocks1))
+        acc0, acc1 = accumulate_campaign_slice(generator, pair, config,
+                                               class_index)
+        return results_from_accumulators(acc0, acc1, config)
+    blocks: Tuple[List[np.ndarray], List[np.ndarray]] = ([], [])
+    n_chunks = config.n_chunks()
+    for group_index, campaign in enumerate(pair):
+        seeds = chunk_seed_streams(config.seed, class_index, group_index,
+                                   n_chunks)
+        for traces in generator.generate_stream(campaign, config.chunk_traces,
+                                                seeds=seeds):
+            blocks[group_index].append(traces.per_gate)
+    return {1: welch_t_test(np.concatenate(blocks[0]),
+                            np.concatenate(blocks[1]))}
+
+
+def aggregate_class_results(
+    class_results: Sequence[Dict[int, WelchResult]],
+    netlist_name: str,
+    gate_names: Tuple[str, ...],
+    config: TvlaConfig,
+    elapsed_seconds: float,
+    streamed: bool,
+    n_shards: int = 1,
+) -> LeakageAssessment:
+    """Combine per-class per-order Welch results into one assessment.
+
+    For every order the reported per-gate statistic is the worst-case
+    (largest |t|) class; the order-1 mean |t| across classes additionally
+    feeds the normalised leakage value.  Shared by the serial driver and
+    :mod:`repro.tvla.sharding`, so both produce identical aggregation.
+    """
+    worst_t: Dict[int, np.ndarray] = {}
+    worst_dof: Optional[np.ndarray] = None
+    abs_sum: Optional[np.ndarray] = None
+    for results in class_results:
+        order1 = results[1]
+        magnitude = np.abs(order1.t_statistic)
+        if abs_sum is None:
+            abs_sum = magnitude.copy()
+            worst_dof = order1.degrees_of_freedom.copy()
+        else:
+            replace = magnitude > np.abs(worst_t[1])
+            worst_dof = np.where(replace, order1.degrees_of_freedom, worst_dof)
+            abs_sum = abs_sum + magnitude
+        for order, result in results.items():
+            current = worst_t.get(order)
+            if current is None:
+                worst_t[order] = result.t_statistic.copy()
+            else:
+                worst_t[order] = np.where(
+                    np.abs(result.t_statistic) > np.abs(current),
+                    result.t_statistic, current)
+    return LeakageAssessment(
+        design_name=netlist_name,
+        gate_names=gate_names,
+        t_values=worst_t[1],
+        degrees_of_freedom=worst_dof,
+        threshold=config.threshold,
+        n_traces=config.n_traces,
+        elapsed_seconds=elapsed_seconds,
+        mean_abs_t=abs_sum / len(class_results),
+        streamed=streamed,
+        tvla_order=config.tvla_order,
+        order_t_values={order: values for order, values in worst_t.items()
+                        if order > 1},
+        n_shards=n_shards,
+    )
+
+
+def validate_campaigns(netlist: Netlist, config: TvlaConfig,
+                       campaigns: Sequence[CampaignPair]) -> None:
+    """Check a pre-built schedule against a configuration and netlist.
+
+    Raises:
+        ValueError: for unknown campaign modes or a schedule that does not
+            match the configuration.
+    """
+    if config.mode not in ("fixed_vs_random", "fixed_vs_fixed"):
+        raise ValueError(f"unknown TVLA mode {config.mode!r}")
+    n_classes = max(1, config.n_fixed_classes)
+    if len(campaigns) != n_classes:
+        raise ValueError(
+            f"campaign schedule has {len(campaigns)} classes; the "
+            f"configuration expects {n_classes}")
+    for pair in campaigns:
+        for campaign in pair:
+            if tuple(campaign.input_names) != tuple(netlist.primary_inputs):
+                raise ValueError(
+                    "campaign schedule inputs do not match the "
+                    f"netlist's primary inputs for {netlist.name!r}")
+            if campaign.n_traces != config.n_traces:
+                raise ValueError(
+                    f"campaign has {campaign.n_traces} traces; the "
+                    f"configuration expects {config.n_traces}")
+
+
+def resolve_generator(netlist: Netlist, config: TvlaConfig,
+                      generator: Optional[PowerTraceGenerator]
+                      ) -> PowerTraceGenerator:
+    """Return a generator for ``netlist``, validating a caller-supplied one."""
+    if generator is None:
+        return PowerTraceGenerator(netlist, config=config.power,
+                                   seed=config.seed)
+    if generator.netlist is not netlist:
+        raise ValueError(
+            f"generator was built for netlist {generator.netlist.name!r}, "
+            f"not {netlist.name!r}")
+    return generator
 
 
 def assess_leakage(netlist: Netlist,
@@ -277,7 +514,8 @@ def assess_leakage(netlist: Netlist,
             reused by the pipeline across before/after assessments.
 
     Returns:
-        A :class:`LeakageAssessment` with one t value per non-port gate.
+        A :class:`LeakageAssessment` with one t value per non-port gate
+        (per configured TVLA order).
 
     Raises:
         ValueError: for unknown campaign modes or a schedule that does not
@@ -288,60 +526,18 @@ def assess_leakage(netlist: Netlist,
     if campaigns is None:
         campaigns = campaign_schedule(netlist, config)
     else:
-        if config.mode not in ("fixed_vs_random", "fixed_vs_fixed"):
-            raise ValueError(f"unknown TVLA mode {config.mode!r}")
-        n_classes = max(1, config.n_fixed_classes)
-        if len(campaigns) != n_classes:
-            raise ValueError(
-                f"campaign schedule has {len(campaigns)} classes; the "
-                f"configuration expects {n_classes}")
-        for pair in campaigns:
-            for campaign in pair:
-                if tuple(campaign.input_names) != tuple(netlist.primary_inputs):
-                    raise ValueError(
-                        "campaign schedule inputs do not match the "
-                        f"netlist's primary inputs for {netlist.name!r}")
-                if campaign.n_traces != config.n_traces:
-                    raise ValueError(
-                        f"campaign has {campaign.n_traces} traces; the "
-                        f"configuration expects {config.n_traces}")
-    if generator is None:
-        generator = PowerTraceGenerator(netlist, config=config.power,
-                                        seed=config.seed)
-    elif generator.netlist is not netlist:
-        raise ValueError(
-            f"generator was built for netlist {generator.netlist.name!r}, "
-            f"not {netlist.name!r}")
+        validate_campaigns(netlist, config, campaigns)
+    generator = resolve_generator(netlist, config, generator)
     streamed = config.resolved_streaming()
 
-    worst_t: Optional[np.ndarray] = None
-    worst_dof: Optional[np.ndarray] = None
-    abs_sum: Optional[np.ndarray] = None
-    for pair in campaigns:
-        result = _class_welch(generator, pair, config, streamed)
-        magnitude = np.abs(result.t_statistic)
-        if worst_t is None:
-            worst_t = result.t_statistic.copy()
-            worst_dof = result.degrees_of_freedom.copy()
-            abs_sum = magnitude.copy()
-        else:
-            replace_mask = magnitude > np.abs(worst_t)
-            worst_t = np.where(replace_mask, result.t_statistic, worst_t)
-            worst_dof = np.where(replace_mask, result.degrees_of_freedom, worst_dof)
-            abs_sum = abs_sum + magnitude
-
+    class_results = [
+        _class_results(generator, pair, config, class_index, streamed)
+        for class_index, pair in enumerate(campaigns)
+    ]
     elapsed = time.perf_counter() - start
-    return LeakageAssessment(
-        design_name=netlist.name,
-        gate_names=generator.gate_names,
-        t_values=worst_t,
-        degrees_of_freedom=worst_dof,
-        threshold=config.threshold,
-        n_traces=config.n_traces,
-        elapsed_seconds=elapsed,
-        mean_abs_t=abs_sum / len(campaigns),
-        streamed=streamed,
-    )
+    return aggregate_class_results(class_results, netlist.name,
+                                   generator.gate_names, config, elapsed,
+                                   streamed)
 
 
 def compare_assessments(before: LeakageAssessment,
@@ -350,14 +546,16 @@ def compare_assessments(before: LeakageAssessment,
 
     Returns a dictionary with the before/after mean leakage values, the
     total leakage reduction percentage (the paper's Table II metric) and the
-    reduction in the number of leaky gates.
+    reduction in the number of leaky gates.  Higher-order results present in
+    *both* assessments are surfaced as ``order{k}_before_leaky`` /
+    ``order{k}_after_leaky`` / ``order{k}_mean_abs_t_reduction_pct``.
     """
     before_mean = before.mean_leakage
     after_mean = after.mean_leakage
     reduction_pct = 0.0
     if before_mean > 0:
         reduction_pct = (before_mean - after_mean) / before_mean * 100.0
-    return {
+    report = {
         "before_mean_leakage": before_mean,
         "after_mean_leakage": after_mean,
         "leakage_reduction_pct": reduction_pct,
@@ -365,3 +563,12 @@ def compare_assessments(before: LeakageAssessment,
         "after_leaky_gates": after.n_leaky,
         "leaky_gate_reduction": before.n_leaky - after.n_leaky,
     }
+    for order in sorted(set(before.order_t_values) & set(after.order_t_values)):
+        before_abs = float(np.abs(before.t_values_for_order(order)).mean())
+        after_abs = float(np.abs(after.t_values_for_order(order)).mean())
+        report[f"order{order}_before_leaky"] = before.n_leaky_for_order(order)
+        report[f"order{order}_after_leaky"] = after.n_leaky_for_order(order)
+        report[f"order{order}_mean_abs_t_reduction_pct"] = (
+            (before_abs - after_abs) / before_abs * 100.0 if before_abs > 0
+            else 0.0)
+    return report

@@ -8,15 +8,21 @@ each trace ``y`` arrives::
     M1' = M1 + delta / n,      delta = y - M1
     mu  = M1,                  s^2 = CM2 = M2 - M1^2
 
-This module implements that accumulator up to fourth-order central moments
-(Welford / Pébay update formulas), vectorised so one accumulator tracks all
-gates of a design simultaneously.  Higher-order moments enable the
-higher-order TVLA variants discussed by Schneider & Moradi.
+This module implements that accumulator for central moments of *arbitrary*
+order (the general pairwise-update formulas of Pébay, which reduce to the
+classic Welford/Chan updates at orders 2-4), vectorised so one accumulator
+tracks all gates of a design simultaneously.  Higher-order moments enable
+the higher-order TVLA variants discussed by Schneider & Moradi: the order-d
+standardised t-test needs central sums up to order ``2 * d``, so order-2
+(variance) TVLA tracks up to ``M4`` and order-3 (skewness) TVLA up to
+``M6``.  Accumulators also merge losslessly (:meth:`OnePassMoments.merge`),
+which is what lets sharded campaigns combine partial acquisitions.
 """
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from math import comb
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,20 +37,23 @@ class OnePassMoments:
     pass, matching the acquisition-time computation advocated by the paper.
 
     Args:
-        max_order: Highest central-moment order to track (2, 3 or 4).
+        max_order: Highest central-moment order to track (any integer >= 2;
+            order-d standardised TVLA needs ``2 * d``).
         shape: Shape of each incoming sample (``()`` for scalars).
     """
 
     def __init__(self, max_order: int = 2, shape: Tuple[int, ...] = ()) -> None:
-        if max_order not in (2, 3, 4):
-            raise ValueError("max_order must be 2, 3 or 4")
-        self.max_order = max_order
+        if not isinstance(max_order, (int, np.integer)) or max_order < 2:
+            raise ValueError("max_order must be an integer >= 2")
+        self.max_order = int(max_order)
         self.shape = tuple(shape)
         self.count = 0
         self._mean = np.zeros(self.shape, dtype=float)
-        self._m2 = np.zeros(self.shape, dtype=float)
-        self._m3 = np.zeros(self.shape, dtype=float)
-        self._m4 = np.zeros(self.shape, dtype=float)
+        #: Central sums M_p = sum((y - mean)^p); index p - 2 holds order p.
+        self._sums: List[np.ndarray] = [
+            np.zeros(self.shape, dtype=float)
+            for _ in range(2, self.max_order + 1)
+        ]
 
     # ------------------------------------------------------------------
     def update(self, sample: ArrayLike) -> None:
@@ -55,24 +64,10 @@ class OnePassMoments:
                 f"sample shape {sample.shape} does not match accumulator "
                 f"shape {self.shape}"
             )
-        n1 = self.count
-        self.count += 1
-        n = self.count
-        delta = sample - self._mean
-        delta_n = delta / n
-        delta_n2 = delta_n * delta_n
-        term1 = delta * delta_n * n1
-        self._mean = self._mean + delta_n
-        if self.max_order >= 4:
-            self._m4 = (self._m4
-                        + term1 * delta_n2 * (n * n - 3 * n + 3)
-                        + 6.0 * delta_n2 * self._m2
-                        - 4.0 * delta_n * self._m3)
-        if self.max_order >= 3:
-            self._m3 = (self._m3
-                        + term1 * delta_n * (n - 2)
-                        - 3.0 * delta_n * self._m2)
-        self._m2 = self._m2 + term1
+        # A single sample is a degenerate batch: every central sum is zero,
+        # so the pairwise combine reduces to the classic Welford update.
+        zeros = [np.zeros(self.shape, dtype=float) for _ in self._sums]
+        self._combine(1, sample, zeros)
 
     def update_batch(self, samples: np.ndarray) -> None:
         """Fold a batch of samples (first axis indexes the samples).
@@ -94,46 +89,53 @@ class OnePassMoments:
             return
         mean_b = samples.mean(axis=0)
         delta = samples - mean_b
-        sq = delta * delta
-        m2_b = sq.sum(axis=0)
-        if self.max_order >= 3:
-            cube = sq * delta
-            m3_b = cube.sum(axis=0)
-        else:
-            m3_b = np.zeros(self.shape, dtype=float)
-        if self.max_order >= 4:
-            m4_b = (sq * sq).sum(axis=0)
-        else:
-            m4_b = np.zeros(self.shape, dtype=float)
-        self._combine(n_b, mean_b, m2_b, m3_b, m4_b)
+        power = delta * delta
+        sums_b = [power.sum(axis=0)]
+        for _ in range(3, self.max_order + 1):
+            power = power * delta
+            sums_b.append(power.sum(axis=0))
+        self._combine(n_b, mean_b, sums_b)
 
-    def _combine(self, n_b: int, mean_b: np.ndarray, m2_b: np.ndarray,
-                 m3_b: np.ndarray, m4_b: np.ndarray) -> None:
-        """Merge a partial stream's (count, mean, central sums) in place."""
+    def _combine(self, n_b: int, mean_b: np.ndarray,
+                 sums_b: Sequence[np.ndarray]) -> None:
+        """Merge a partial stream's (count, mean, central sums) in place.
+
+        Implements Pébay's arbitrary-order pairwise formula::
+
+            M_p = M_p^A + M_p^B
+                  + sum_{k=1}^{p-2} C(p,k) [ (-n_B d/n)^k M_{p-k}^A
+                                             + (n_A d/n)^k M_{p-k}^B ]
+                  + (n_A n_B d / n)^p [ 1/n_B^{p-1} - (-1/n_A)^{p-1} ]
+
+        with ``d = mean_B - mean_A``; at p = 2, 3, 4 this reduces to the
+        familiar Chan et al. merge used by streaming variance computations.
+        """
         n_a = self.count
-        n = n_a + n_b
         if n_b == 0:
             return
+        n = n_a + n_b
         if n_a == 0:
             self.count = n_b
             self._mean = np.array(mean_b, dtype=float)
-            self._m2 = np.array(m2_b, dtype=float)
-            self._m3 = np.array(m3_b, dtype=float)
-            self._m4 = np.array(m4_b, dtype=float)
+            self._sums = [np.array(s, dtype=float) for s in sums_b]
             return
         delta = mean_b - self._mean
-        if self.max_order >= 4:
-            self._m4 = (self._m4 + m4_b
-                        + delta ** 4 * n_a * n_b
-                        * (n_a ** 2 - n_a * n_b + n_b ** 2) / n ** 3
-                        + 6.0 * delta ** 2 * (n_a ** 2 * m2_b
-                                              + n_b ** 2 * self._m2) / n ** 2
-                        + 4.0 * delta * (n_a * m3_b - n_b * self._m3) / n)
-        if self.max_order >= 3:
-            self._m3 = (self._m3 + m3_b
-                        + delta ** 3 * n_a * n_b * (n_a - n_b) / n ** 2
-                        + 3.0 * delta * (n_a * m2_b - n_b * self._m2) / n)
-        self._m2 = self._m2 + m2_b + delta ** 2 * n_a * n_b / n
+        sums_a = self._sums
+        step_a = -n_b * delta / n
+        step_b = n_a * delta / n
+        cross = n_a * n_b * delta / n
+        new_sums: List[np.ndarray] = []
+        for p in range(2, self.max_order + 1):
+            index = p - 2
+            value = sums_a[index] + sums_b[index]
+            for k in range(1, p - 1):
+                lower = p - k - 2  # index of M_{p-k}; p - k >= 2 here
+                value = value + comb(p, k) * (step_a ** k * sums_a[lower]
+                                              + step_b ** k * sums_b[lower])
+            value = value + cross ** p * (1.0 / n_b ** (p - 1)
+                                          - (-1.0 / n_a) ** (p - 1))
+            new_sums.append(value)
+        self._sums = new_sums
         self._mean = self._mean + delta * (n_b / n)
         self.count = n
 
@@ -145,24 +147,18 @@ class OnePassMoments:
 
     def central_moment(self, order: int) -> np.ndarray:
         """Biased central moment ``CM_order`` (central sum / n)."""
-        if self.count == 0:
+        if order != 1 and not 2 <= order <= self.max_order:
+            raise ValueError(f"order {order} not tracked (max {self.max_order})")
+        if self.count == 0 or order == 1:
             return np.zeros(self.shape, dtype=float)
-        if order == 1:
-            return np.zeros(self.shape, dtype=float)
-        if order == 2:
-            return self._m2 / self.count
-        if order == 3 and self.max_order >= 3:
-            return self._m3 / self.count
-        if order == 4 and self.max_order >= 4:
-            return self._m4 / self.count
-        raise ValueError(f"order {order} not tracked (max {self.max_order})")
+        return self._sums[order - 2] / self.count
 
     @property
     def variance(self) -> np.ndarray:
         """Unbiased sample variance (``n - 1`` denominator)."""
         if self.count < 2:
             return np.zeros(self.shape, dtype=float)
-        return self._m2 / (self.count - 1)
+        return self._sums[0] / (self.count - 1)
 
     @property
     def standard_deviation(self) -> np.ndarray:
@@ -194,18 +190,16 @@ class OnePassMoments:
     def merge(self, other: "OnePassMoments") -> "OnePassMoments":
         """Return an accumulator equivalent to having seen both streams.
 
-        Mean and second/third/fourth central sums are combined with the exact
+        Mean and all tracked central sums are combined with the exact
         pairwise (Chan et al. / Pébay) formulas, so merging partial TVLA
-        acquisitions is lossless.
+        acquisitions — e.g. the per-shard accumulators of
+        :mod:`repro.tvla.sharding` — is lossless.
         """
         if self.shape != other.shape or self.max_order != other.max_order:
             raise ValueError("cannot merge accumulators with different config")
         merged = OnePassMoments(self.max_order, self.shape)
         merged.count = self.count
         merged._mean = self._mean.copy()
-        merged._m2 = self._m2.copy()
-        merged._m3 = self._m3.copy()
-        merged._m4 = self._m4.copy()
-        merged._combine(other.count, other._mean, other._m2, other._m3,
-                        other._m4)
+        merged._sums = [s.copy() for s in self._sums]
+        merged._combine(other.count, other._mean, other._sums)
         return merged

@@ -13,12 +13,22 @@ A design point is regarded as leaking when ``|t| > 4.5`` (with ``v > 1000``
 this corresponds to a p-value below 1e-5, i.e. > 99.999 % confidence against
 the null hypothesis of equal means).  All functions are vectorised: the
 inputs may be matrices whose columns are different gates/sample points.
+
+Higher-order TVLA (Schneider & Moradi) preprocesses each trace before the
+t-test: order 2 compares the *centered squares* ``(y - mu)^2`` (i.e. the
+variances) of the two groups, order 3 the *standardised cubes*
+``((y - mu) / sigma)^3`` (the skewnesses).  Masked implementations that pass
+first-order TVLA are evaluated against exactly these tests.  Because the
+mean and variance of the preprocessed traces are polynomial in the central
+moments of the raw traces, :func:`welch_higher_order` computes them directly
+from :class:`OnePassMoments` accumulators — no second pass over the traces,
+and sharded partial accumulators work unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 from scipy import stats
@@ -128,3 +138,81 @@ def welch_from_accumulators(acc0: OnePassMoments,
         raise ValueError("both accumulators need at least 2 samples")
     return welch_from_moments(acc0.mean, acc0.variance, acc0.count,
                               acc1.mean, acc1.variance, acc1.count)
+
+
+def moment_order_for_tvla(order: int) -> int:
+    """Accumulator ``max_order`` needed for an order-``order`` t-test.
+
+    The order-d preprocessed trace has mean and variance polynomial in the
+    raw central moments up to order ``2 * d`` (order 1 only needs the
+    variance, i.e. order 2).
+    """
+    if not isinstance(order, (int, np.integer)) or order < 1:
+        raise ValueError("TVLA order must be an integer >= 1")
+    return 2 if order == 1 else 2 * int(order)
+
+
+def _preprocessed_moments(acc: OnePassMoments,
+                          order: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample mean and unbiased variance of the order-d preprocessed traces.
+
+    For ``Z = (y - mu)^2`` (order 2): ``E[Z] = CM2`` and
+    ``Var[Z] = CM4 - CM2^2``; for ``Z = ((y - mu)/sigma)^3`` (order 3,
+    standardised with the biased sigma): ``E[Z] = CM3 / CM2^1.5`` and
+    ``Var[Z] = (CM6 - CM3^2) / CM2^3``.  The biased variances are rescaled
+    by ``n / (n - 1)`` so the result matches a two-pass Welch t-test over
+    the explicitly preprocessed traces.  Zero-variance points yield zeros
+    (and therefore a zero t), never NaN/inf.
+    """
+    n = acc.count
+    cm2 = acc.central_moment(2)
+    if order == 2:
+        mean_z = cm2
+        var_z = acc.central_moment(4) - cm2 ** 2
+    elif order == 3:
+        cm3 = acc.central_moment(3)
+        cm6 = acc.central_moment(6)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            safe = np.maximum(cm2, 1e-300)
+            mean_z = np.where(cm2 > 0, cm3 / safe ** 1.5, 0.0)
+            var_z = np.where(cm2 > 0, (cm6 - cm3 ** 2) / safe ** 3, 0.0)
+    else:
+        raise ValueError(f"unsupported higher-order TVLA order {order}")
+    # Clamp tiny negative values from catastrophic cancellation and undo
+    # the bias so the variance matches ddof=1 on the preprocessed traces.
+    var_z = np.maximum(var_z, 0.0) * (n / (n - 1.0))
+    return np.asarray(mean_z, dtype=float), np.asarray(var_z, dtype=float)
+
+
+def welch_higher_order(acc0: OnePassMoments, acc1: OnePassMoments,
+                       order: int) -> WelchResult:
+    """Order-``order`` TVLA t-test from two moment accumulators.
+
+    Args:
+        acc0: Accumulator of the first trace group, tracking central
+            moments up to at least :func:`moment_order_for_tvla`.
+        acc1: Same for the second group.
+        order: 1 (plain Welch on the means), 2 (centered-variance test) or
+            3 (standardised-skewness test).
+
+    Returns:
+        A :class:`WelchResult` equivalent to running :func:`welch_t_test`
+        on the order-``order`` preprocessed traces of both groups.
+
+    Raises:
+        ValueError: for unsupported orders, accumulators that do not track
+            enough moments, or fewer than 2 samples per group.
+    """
+    if order == 1:
+        return welch_from_accumulators(acc0, acc1)
+    required = moment_order_for_tvla(order)
+    for acc in (acc0, acc1):
+        if acc.max_order < required:
+            raise ValueError(
+                f"order-{order} TVLA needs central moments up to "
+                f"{required}; accumulator tracks {acc.max_order}")
+    if acc0.count < 2 or acc1.count < 2:
+        raise ValueError("both accumulators need at least 2 samples")
+    mean0, var0 = _preprocessed_moments(acc0, order)
+    mean1, var1 = _preprocessed_moments(acc1, order)
+    return welch_from_moments(mean0, var0, acc0.count, mean1, var1, acc1.count)

@@ -23,8 +23,10 @@ from repro.tvla import TvlaConfig
 from repro.workloads import WorkloadConfig, training_designs
 
 
-#: TVLA settings small enough for unit tests but still statistically usable.
-TEST_TVLA = TvlaConfig(n_traces=120, n_fixed_classes=2, seed=5,
+#: TVLA settings small enough for unit tests but still statistically usable
+#: (240 traces keeps leakage-reduction margins stable across noise-stream
+#: derivations while the whole suite stays fast).
+TEST_TVLA = TvlaConfig(n_traces=240, n_fixed_classes=2, seed=5,
                        power=PowerModelConfig())
 
 

@@ -165,3 +165,94 @@ def test_shap_efficiency_property(seed):
     sample = features[int(rng.integers(0, features.shape[0]))]
     assert tree_explainer.explain(sample).additivity_gap < 1e-8
     assert kernel_explainer.explain(sample).additivity_gap < 1e-5
+
+
+# ----------------------------------------------------------------------
+# OnePassMoments.merge: the algebra the sharded TVLA drivers rely on.
+# Seeded numpy data (hypothesis only picks seeds/shapes/splits) keeps the
+# cases well-conditioned enough for the ~1e-12 equality contract.
+# ----------------------------------------------------------------------
+def _moments_from(samples, max_order, shape):
+    acc = OnePassMoments(max_order=max_order, shape=shape)
+    acc.update_batch(samples)
+    return acc
+
+
+def _random_parts(seed, n_parts, shape):
+    rng = np.random.default_rng(seed)
+    parts = []
+    for _ in range(n_parts):
+        size = int(rng.integers(2, 60))
+        loc = float(rng.uniform(-2.0, 2.0))
+        scale = float(rng.uniform(0.5, 2.0))
+        parts.append(rng.normal(loc, scale, size=(size,) + shape))
+    return parts
+
+
+def _assert_moments_equal(actual, expected, rtol=1e-12):
+    assert actual.count == expected.count
+    np.testing.assert_allclose(actual.mean, expected.mean,
+                               rtol=rtol, atol=1e-12)
+    for order in range(2, expected.max_order + 1):
+        np.testing.assert_allclose(actual.central_moment(order),
+                                   expected.central_moment(order),
+                                   rtol=rtol, atol=1e-12)
+
+
+MERGE_SETTINGS = settings(max_examples=40, deadline=None,
+                          suppress_health_check=[HealthCheck.too_slow])
+
+
+@MERGE_SETTINGS
+@given(st.integers(min_value=0, max_value=99999),
+       st.integers(min_value=2, max_value=4),
+       st.sampled_from([(), (3,), (2, 4)]),
+       st.integers(min_value=2, max_value=4))
+def test_merge_matches_concatenated_update(seed, max_order, shape, n_parts):
+    parts = _random_parts(seed, n_parts, shape)
+    merged = _moments_from(parts[0], max_order, shape)
+    for part in parts[1:]:
+        merged = merged.merge(_moments_from(part, max_order, shape))
+    reference = _moments_from(np.concatenate(parts), max_order, shape)
+    _assert_moments_equal(merged, reference)
+
+
+@MERGE_SETTINGS
+@given(st.integers(min_value=0, max_value=99999),
+       st.integers(min_value=2, max_value=4),
+       st.sampled_from([(), (3,)]),
+       st.permutations(list(range(4))))
+def test_merge_is_order_invariant(seed, max_order, shape, order):
+    parts = _random_parts(seed, 4, shape)
+    accumulators = [_moments_from(part, max_order, shape) for part in parts]
+
+    def fold(indices):
+        result = accumulators[indices[0]]
+        for index in indices[1:]:
+            result = result.merge(accumulators[index])
+        return result
+
+    _assert_moments_equal(fold(list(order)), fold(list(range(4))))
+
+
+@MERGE_SETTINGS
+@given(st.integers(min_value=0, max_value=99999),
+       st.integers(min_value=2, max_value=4),
+       st.sampled_from([(), (3,)]))
+def test_merge_is_associative(seed, max_order, shape):
+    a, b, c = (_moments_from(part, max_order, shape)
+               for part in _random_parts(seed, 3, shape))
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    _assert_moments_equal(left, right)
+
+
+@MERGE_SETTINGS
+@given(st.integers(min_value=0, max_value=99999),
+       st.integers(min_value=2, max_value=4))
+def test_merge_with_empty_is_identity(seed, max_order):
+    samples = _random_parts(seed, 1, ())[0]
+    acc = _moments_from(samples, max_order, ())
+    empty = OnePassMoments(max_order=max_order)
+    _assert_moments_equal(acc.merge(empty), acc)
+    _assert_moments_equal(empty.merge(acc), acc)

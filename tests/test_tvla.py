@@ -13,8 +13,10 @@ from repro.tvla import (
     assess_leakage,
     campaign_schedule,
     compare_assessments,
+    moment_order_for_tvla,
     welch_from_accumulators,
     welch_from_moments,
+    welch_higher_order,
     welch_t_test,
 )
 
@@ -116,11 +118,26 @@ class TestOnePassMoments:
 
     def test_invalid_order_rejected(self):
         with pytest.raises(ValueError):
-            OnePassMoments(max_order=5)
+            OnePassMoments(max_order=1)
+        with pytest.raises(ValueError):
+            OnePassMoments(max_order=2.5)
         acc = OnePassMoments(max_order=2)
         acc.update(1.0)
         with pytest.raises(ValueError):
             acc.central_moment(3)
+
+    def test_arbitrary_order_matches_numpy(self, rng):
+        # The generalised Pébay combine tracks any order; order 5/6 back the
+        # order-3 standardised TVLA test.
+        samples = rng.exponential(1.0, size=(1500, 3))
+        acc = OnePassMoments(max_order=6, shape=(3,))
+        for chunk in np.array_split(samples, 9):
+            acc.update_batch(chunk)
+        centred = samples - samples.mean(axis=0)
+        for order in (2, 3, 4, 5, 6):
+            np.testing.assert_allclose(acc.central_moment(order),
+                                       (centred ** order).mean(axis=0),
+                                       rtol=1e-9)
 
 
 class TestWelch:
@@ -170,6 +187,144 @@ class TestWelch:
     def test_too_few_traces_rejected(self):
         with pytest.raises(ValueError):
             welch_t_test(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestWelchEdgeCases:
+    """No NaN/inf may ever leak out of the t-test layer into leaky masks."""
+
+    def test_fewer_than_two_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            welch_from_moments(0.0, 1.0, 1, 0.0, 1.0, 100)
+        with pytest.raises(ValueError, match="at least 2"):
+            welch_from_moments(0.0, 1.0, 100, 0.0, 1.0, 0)
+        acc_one = OnePassMoments()
+        acc_one.update(1.0)
+        acc_many = OnePassMoments()
+        acc_many.update_batch(np.arange(10.0))
+        with pytest.raises(ValueError, match="at least 2"):
+            welch_from_accumulators(acc_one, acc_many)
+
+    def test_zero_variance_both_groups_is_finite(self):
+        result = welch_from_moments(1.0, 0.0, 50, 1.0, 0.0, 60)
+        assert float(result.t_statistic) == 0.0
+        assert np.isfinite(result.degrees_of_freedom)
+        assert float(result.p_value) == pytest.approx(1.0)
+
+    def test_zero_variance_single_columns(self, rng):
+        # A constant column next to a noisy one: the constant column's t
+        # must be finite and its mask entry well-defined.
+        noisy0 = rng.normal(size=(200, 1))
+        noisy1 = rng.normal(0.5, 1.0, size=(200, 1))
+        group0 = np.hstack([np.full((200, 1), 3.0), noisy0])
+        group1 = np.hstack([np.full((200, 1), 3.0), noisy1])
+        result = welch_t_test(group0, group1)
+        assert np.isfinite(result.t_statistic).all()
+        assert np.isfinite(result.p_value).all()
+        mask = result.exceeds_threshold(1.0)
+        assert not mask[0]
+
+    def test_single_gate_shapes(self, rng):
+        # (n, 1) matrices keep their column axis; 1-D inputs collapse to
+        # scalars; both stay finite.
+        matrix = welch_t_test(rng.normal(size=(50, 1)),
+                              rng.normal(size=(60, 1)))
+        assert matrix.t_statistic.shape == (1,)
+        scalar = welch_t_test(rng.normal(size=50), rng.normal(size=60))
+        assert scalar.t_statistic.shape == ()
+        assert np.isfinite(matrix.t_statistic).all()
+
+    def test_zero_noise_assessment_has_finite_masks(self, tiny_netlist):
+        # With noise_sigma=0 the fixed group's power is fully deterministic
+        # (zero-variance columns) — leaky_mask must still be NaN/inf free.
+        config = TvlaConfig(n_traces=64, n_fixed_classes=1, seed=3,
+                            power=PowerModelConfig(noise_sigma=0.0),
+                            tvla_order=2)
+        assessment = assess_leakage(tiny_netlist, config)
+        assert np.isfinite(assessment.t_values).all()
+        assert np.isfinite(assessment.leakage_values).all()
+        assert assessment.leaky_mask.dtype == bool
+        assert np.isfinite(assessment.order_t_values[2]).all()
+        assert assessment.leaky_mask_for_order(2).dtype == bool
+
+
+class TestHigherOrderWelch:
+    def test_moment_order_requirements(self):
+        assert moment_order_for_tvla(1) == 2
+        assert moment_order_for_tvla(2) == 4
+        assert moment_order_for_tvla(3) == 6
+        with pytest.raises(ValueError):
+            moment_order_for_tvla(0)
+
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_matches_explicit_preprocessing(self, rng, order):
+        # welch_higher_order from moment accumulators must equal a plain
+        # Welch t-test on the explicitly preprocessed traces (centered
+        # squares / standardised cubes with the biased per-group sigma).
+        group0 = rng.normal(0.0, 1.0, size=(900, 3))
+        group1 = rng.normal(0.1, 1.4, size=(800, 3))
+
+        def preprocess(samples):
+            centred = samples - samples.mean(axis=0)
+            if order == 2:
+                return centred ** 2
+            sigma = np.sqrt((centred ** 2).mean(axis=0))
+            return (centred / sigma) ** 3
+
+        acc0 = OnePassMoments(max_order=6, shape=(3,))
+        acc0.update_batch(group0)
+        acc1 = OnePassMoments(max_order=6, shape=(3,))
+        acc1.update_batch(group1)
+        direct = welch_t_test(preprocess(group0), preprocess(group1))
+        from_moments = welch_higher_order(acc0, acc1, order)
+        np.testing.assert_allclose(from_moments.t_statistic,
+                                   direct.t_statistic, rtol=1e-9)
+        np.testing.assert_allclose(from_moments.degrees_of_freedom,
+                                   direct.degrees_of_freedom, rtol=1e-9)
+
+    def test_order_one_delegates_to_plain_welch(self, rng):
+        group0 = rng.normal(size=300)
+        group1 = rng.normal(0.3, 1.0, size=280)
+        acc0 = OnePassMoments(max_order=2)
+        acc0.update_batch(group0)
+        acc1 = OnePassMoments(max_order=2)
+        acc1.update_batch(group1)
+        result = welch_higher_order(acc0, acc1, 1)
+        reference = welch_from_accumulators(acc0, acc1)
+        assert float(result.t_statistic) == float(reference.t_statistic)
+
+    def test_variance_difference_detected_at_order_two(self, rng):
+        # Equal means, different variances: invisible to order 1, flagged
+        # by order 2.
+        group0 = rng.normal(0.0, 1.0, size=(4000, 2))
+        group1 = rng.normal(0.0, 1.5, size=(4000, 2))
+        acc0 = OnePassMoments(max_order=4, shape=(2,))
+        acc0.update_batch(group0)
+        acc1 = OnePassMoments(max_order=4, shape=(2,))
+        acc1.update_batch(group1)
+        order1 = welch_from_accumulators(acc0, acc1)
+        order2 = welch_higher_order(acc0, acc1, 2)
+        assert (np.abs(order1.t_statistic) < TVLA_THRESHOLD).all()
+        assert (np.abs(order2.t_statistic) > TVLA_THRESHOLD).all()
+
+    def test_insufficient_moments_rejected(self, rng):
+        acc0 = OnePassMoments(max_order=2)
+        acc0.update_batch(rng.normal(size=100))
+        acc1 = OnePassMoments(max_order=2)
+        acc1.update_batch(rng.normal(size=100))
+        with pytest.raises(ValueError, match="central moments"):
+            welch_higher_order(acc0, acc1, 2)
+        with pytest.raises(ValueError, match="unsupported|order"):
+            welch_higher_order(acc0, acc1, 4)
+
+    def test_zero_variance_gives_zero_t(self):
+        acc0 = OnePassMoments(max_order=6)
+        acc0.update_batch(np.full(40, 2.0))
+        acc1 = OnePassMoments(max_order=6)
+        acc1.update_batch(np.full(40, 5.0))
+        for order in (2, 3):
+            result = welch_higher_order(acc0, acc1, order)
+            assert np.isfinite(result.t_statistic).all()
+            assert float(result.t_statistic) == 0.0
 
 
 class TestAssessment:
@@ -296,3 +451,60 @@ class TestStreamingAssessment:
                                       seed=tvla_config.seed)
         with pytest.raises(ValueError, match="generator was built"):
             assess_leakage(tiny_netlist, tvla_config, generator=foreign)
+
+
+class TestHigherOrderAssessment:
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError, match="tvla_order"):
+            TvlaConfig(tvla_order=4)
+        with pytest.raises(ValueError, match="tvla_order"):
+            TvlaConfig(tvla_order=0)
+
+    def test_higher_order_forces_streaming(self):
+        config = TvlaConfig(n_traces=100, chunk_traces=2048, tvla_order=2)
+        assert config.resolved_streaming()
+        assert config.moment_order() == 4
+
+    def test_order_results_shape_and_summary(self, tiny_netlist):
+        config = TvlaConfig(n_traces=200, n_fixed_classes=2, seed=2,
+                            tvla_order=3)
+        assessment = assess_leakage(tiny_netlist, config)
+        assert assessment.tvla_order == 3
+        assert set(assessment.order_t_values) == {2, 3}
+        for order in (2, 3):
+            assert assessment.order_t_values[order].shape == \
+                assessment.t_values.shape
+            assert np.isfinite(assessment.order_t_values[order]).all()
+        summary = assessment.summary()
+        assert summary["tvla_order"] == 3
+        assert "leaky_gates_order2" in summary
+        with pytest.raises(KeyError):
+            assessment.t_values_for_order(5)
+
+    def test_order_one_assessment_has_no_higher_orders(self, tiny_netlist,
+                                                       tvla_config):
+        assessment = assess_leakage(tiny_netlist, tvla_config)
+        assert assessment.order_t_values == {}
+        with pytest.raises(KeyError):
+            assessment.leaky_mask_for_order(2)
+
+    def test_order_two_mirrors_masking_benefit(self, small_benchmark):
+        # Acceptance shape: order-2 TVLA flags the unmasked bench netlist
+        # as leaky, and full masking reduces the order-2 verdict just as it
+        # reduces the order-1 one.
+        config = TvlaConfig(n_traces=600, n_fixed_classes=2, seed=9,
+                            chunk_traces=128, tvla_order=2)
+        masked = apply_masking(small_benchmark,
+                               maskable_gates(small_benchmark)).netlist
+        before = assess_leakage(small_benchmark, config)
+        after = assess_leakage(masked, config)
+        assert before.n_leaky_for_order(2) > 0
+        assert after.n_leaky_for_order(2) < before.n_leaky_for_order(2)
+        assert np.abs(after.order_t_values[2]).mean() < \
+            np.abs(before.order_t_values[2]).mean()
+        # ... mirroring the order-1 before/after result.
+        assert before.n_leaky > after.n_leaky
+        comparison = compare_assessments(before, after)
+        assert comparison["order2_before_leaky"] == before.n_leaky_for_order(2)
+        assert comparison["order2_after_leaky"] == after.n_leaky_for_order(2)
+        assert comparison["order2_mean_abs_t_reduction_pct"] > 0.0

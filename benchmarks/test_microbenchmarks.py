@@ -9,8 +9,10 @@ two-pass), structural feature extraction, and model inference.
 
 The vectorised-vs-loop comparison is recorded in
 ``benchmarks/results/latest.json`` (experiment id
-``microbench_trace_generation``), and the shard-count scaling curve of the
-sharded TVLA driver as ``microbench_sharded_tvla_scaling``.
+``microbench_trace_generation``), the fused-kernel-vs-gate-loop simulation
+sweep as ``microbench_compiled_sweep``, and the shard-count scaling curve
+of the sharded TVLA driver (both simulation backends) as
+``microbench_sharded_tvla_scaling``.
 
 The 10k-trace benches are marked ``slow``: they are deselected by default
 (see ``pytest.ini``) and in CI; run them with ``pytest -m slow benchmarks``
@@ -76,6 +78,71 @@ def test_logic_simulation_throughput(benchmark, design):
                 for net in design.primary_inputs}
     result = benchmark(simulator.evaluate, stimulus)
     assert result.n_vectors == 2000
+
+
+def test_compiled_sweep_microbench(recorder):
+    """Fused levelised kernel vs the per-gate loop: per-trace sweep time.
+
+    Evaluates several paper benchmark netlists at full (paper) scale with a
+    TVLA-representative batch (`chunk_traces` default of 2048 vectors) on
+    both simulation backends, checks bit-identical outputs, and records the
+    per-trace kernel times as ``microbench_compiled_sweep``.  The fused
+    kernel must at least halve the per-trace sweep time on the widest
+    designs (the designs whose levels fuse into large segments); the deep
+    narrow ones still have to win, just by a thinner margin.
+    """
+    batch = 2048
+    rows = []
+    for name in ("md5", "des3", "log2", "memctrl"):
+        netlist = load_benchmark(name, scale=1.0, seed=3)
+        compiled = LogicSimulator(netlist, backend="compiled")
+        loop = LogicSimulator(netlist, backend="loop")
+        assert compiled.backend == "compiled"
+        rng = np.random.default_rng(0)
+        stimulus = {net: rng.integers(0, 2, batch).astype(bool)
+                    for net in netlist.primary_inputs}
+
+        reference = loop.evaluate(stimulus)
+        result = compiled.evaluate(stimulus)
+        for net in reference.net_values:
+            np.testing.assert_array_equal(result.net_values[net],
+                                          reference.net_values[net])
+
+        def best_of(fn, repeats=5, number=10):
+            return min(timeit.timeit(fn, number=number)
+                       for _ in range(repeats)) / number
+
+        loop_seconds = best_of(lambda: loop.evaluate(stimulus))
+        compiled_seconds = best_of(lambda: compiled.evaluate(stimulus))
+        stats = compiled.plan.describe()
+        rows.append({
+            "design": netlist.name,
+            "n_gates": len(netlist),
+            "n_levels": stats["n_levels"],
+            "n_segments": stats["n_segments"],
+            "gates_per_segment": stats["gates_per_segment"],
+            "batch": batch,
+            "loop_us_per_trace": loop_seconds / batch * 1e6,
+            "compiled_us_per_trace": compiled_seconds / batch * 1e6,
+            "speedup": loop_seconds / compiled_seconds,
+        })
+
+    recorder.record(ExperimentRecord(
+        experiment_id="microbench_compiled_sweep",
+        description=("Fused levelised simulation kernel vs per-gate loop: "
+                     f"per-trace sweep time at batch {batch}, paper-scale "
+                     "netlists"),
+        parameters={"scale": 1.0, "batch": batch},
+        rows=rows,
+    ))
+    # Best-of-N minima keep the ratios stable under runner load; the floors
+    # are deliberately loose (the measured margins are 1.6-2.5x) so only a
+    # genuine kernel regression fails the always-on suite.
+    speedups = {row["design"]: row["speedup"] for row in rows}
+    assert max(speedups.values()) >= 2.0, (
+        f"fused kernel never reached 2x over the per-gate loop: {speedups}")
+    assert all(value > 1.0 for value in speedups.values()), (
+        f"fused kernel regressed below the loop on some designs: {speedups}")
 
 
 def test_power_trace_generation_throughput(benchmark, design):
@@ -171,51 +238,72 @@ def test_sharded_tvla_scaling(masked_design, recorder):
     """Shard-count scaling of a 10,000-trace sharded TVLA campaign.
 
     Runs the same campaign with 1/2/4 workers on both pool executors and
-    records the scaling curve in ``latest.json``.  Chunk size 1024 gives 10
-    chunks, so 4 shards still get a balanced 3/3/2/2 split.  Correctness is
-    asserted against the serial streaming driver (~1e-12); the speedups are
-    recorded together with the host's CPU count but not asserted — on a
-    single-core CI container the curve documents pure sharding overhead,
-    while multi-core hosts see the process executor scale with the shard
-    count (the thread executor is bounded by the simulator's per-gate
-    Python loop holding the GIL).
+    **both simulation backends** (the per-gate ``"loop"`` before, the fused
+    ``"compiled"`` kernel after) and records the scaling curves in
+    ``latest.json``.  Chunk size 1024 gives 10 chunks, so 4 shards still
+    get a balanced 3/3/2/2 split.  Correctness is asserted against the
+    serial streaming driver (~1e-12); the speedups are recorded together
+    with the host's CPU count but not asserted — on a single-core CI
+    container the curve documents pure sharding overhead, while multi-core
+    hosts see both pools scale with the shard count now that the fused
+    kernel's numpy segments release the GIL for the bulk of each chunk
+    (with the loop backend, the thread curve stays flat: the per-gate
+    Python sweep holds the GIL).
     """
-    config = TvlaConfig(n_traces=PAPER_TRACES, n_fixed_classes=1, seed=2,
-                        chunk_traces=1024, streaming=True)
-    start = time.perf_counter()
-    reference = assess_leakage(masked_design, config)
-    serial_seconds = time.perf_counter() - start
+    serial_seconds = {}
+    references = {}
+    configs = {}
+    for sim_backend in ("loop", "compiled"):
+        configs[sim_backend] = TvlaConfig(
+            n_traces=PAPER_TRACES, n_fixed_classes=1, seed=2,
+            chunk_traces=1024, streaming=True, sim_backend=sim_backend)
+        start = time.perf_counter()
+        references[sim_backend] = assess_leakage(masked_design,
+                                                 configs[sim_backend])
+        serial_seconds[sim_backend] = time.perf_counter() - start
+    # Both backends generate bit-identical traces: same verdict.
+    np.testing.assert_array_equal(references["loop"].t_values,
+                                  references["compiled"].t_values)
 
     rows = []
-    for executor in ("thread", "process"):
-        for n_shards in (1, 2, 4):
-            start = time.perf_counter()
-            sharded = assess_leakage_sharded(masked_design, config,
-                                             n_shards=n_shards,
-                                             executor=executor,
-                                             max_workers=n_shards)
-            elapsed = time.perf_counter() - start
-            np.testing.assert_allclose(sharded.t_values, reference.t_values,
-                                       rtol=1e-12, atol=1e-12)
-            rows.append({
-                "design": masked_design.name,
-                "executor": executor,
-                "n_shards": n_shards,
-                "n_gates": len(masked_design),
-                "seconds": elapsed,
-                "speedup_vs_serial": serial_seconds / elapsed,
-                "traces_per_second": 2 * PAPER_TRACES / elapsed,
-            })
+    for sim_backend in ("loop", "compiled"):
+        config = configs[sim_backend]
+        for executor in ("thread", "process"):
+            if executor == "process" and sim_backend == "loop":
+                continue  # the before/after story is the thread curve
+            for n_shards in (1, 2, 4):
+                start = time.perf_counter()
+                sharded = assess_leakage_sharded(masked_design, config,
+                                                 n_shards=n_shards,
+                                                 executor=executor,
+                                                 max_workers=n_shards)
+                elapsed = time.perf_counter() - start
+                np.testing.assert_allclose(
+                    sharded.t_values, references[sim_backend].t_values,
+                    rtol=1e-12, atol=1e-12)
+                rows.append({
+                    "design": masked_design.name,
+                    "sim_backend": sim_backend,
+                    "executor": executor,
+                    "n_shards": n_shards,
+                    "n_gates": len(masked_design),
+                    "seconds": elapsed,
+                    "speedup_vs_serial":
+                        serial_seconds[sim_backend] / elapsed,
+                    "traces_per_second": 2 * PAPER_TRACES / elapsed,
+                })
 
     recorder.record(ExperimentRecord(
         experiment_id="microbench_sharded_tvla_scaling",
         description=("Sharded streaming TVLA campaign at 10,000 traces: "
-                     "shard-count scaling (1/2/4 workers, thread and "
-                     "process executors)"),
+                     "shard-count scaling (1/2/4 workers; loop vs fused "
+                     "compiled simulation backend on the thread pool, "
+                     "plus the process-pool curve)"),
         parameters={"scale": max(BENCH_SCALE, 0.35),
                     "n_traces": PAPER_TRACES,
-                    "chunk_traces": config.chunk_traces,
-                    "serial_seconds": serial_seconds,
+                    "chunk_traces": 1024,
+                    "serial_seconds_loop": serial_seconds["loop"],
+                    "serial_seconds_compiled": serial_seconds["compiled"],
                     "cpu_count": os.cpu_count()},
         rows=rows,
     ))

@@ -205,12 +205,14 @@ def protect_design(
     schedule = None
 
     def shared_schedule():
+        """Build the stimulus schedule on first use, then reuse it."""
         nonlocal schedule
         if schedule is None:
             schedule = campaign_schedule(netlist, config.tvla)
         return schedule
 
     def run_assessment(design, campaigns):
+        """Assess ``design`` with the configured (possibly sharded) driver."""
         if n_shards > 1:
             return assess_leakage_sharded(design, config.tvla,
                                           n_shards=n_shards,

@@ -19,14 +19,22 @@ Two implementations coexist:
   Python loop as the reference implementation for regression tests and the
   microbenchmark comparison.
 
+Simulation itself runs on the backend selected by ``sim_backend``: with the
+default ``"compiled"`` fused kernel (:mod:`repro.simulation.compiled`) the
+power plan adopts the simulator's state-matrix row numbering, so net values
+flow from simulation into power extraction as a zero-copy view and the
+whole chunk is processed by GIL-releasing numpy calls.
+
 :meth:`PowerTraceGenerator.generate_stream` slices a campaign into chunks so
 the streaming TVLA driver (:func:`repro.tvla.assessment.assess_leakage`) can
 fold traces into one-pass moment accumulators without ever materialising the
 full ``(n_traces, n_gates)`` matrix.  Passing per-chunk ``seeds`` (spawned
-from a :class:`numpy.random.SeedSequence`) makes every chunk's mask/noise
-draws a pure function of its global chunk index, which is what lets
-:mod:`repro.tvla.sharding` split one campaign across workers and still
-produce t-values identical to the serial run for a given seed.
+from a :class:`numpy.random.SeedSequence` per ``(seed, class, group,
+chunk)`` — the :func:`repro.tvla.assessment.chunk_seed_streams` contract)
+makes every chunk's mask/noise draws a pure function of its global chunk
+coordinates, which is what lets :mod:`repro.tvla.sharding` split one
+campaign across workers and still produce t-values identical to the serial
+run for a given seed.
 """
 
 from __future__ import annotations
@@ -155,10 +163,17 @@ class PowerTraceGenerator:
         trace_dtype: dtype of the per-gate trace matrix.  ``float32``
             (default) halves memory traffic on the hot path; statistics are
             still computed in float64 downstream.
+        sim_backend: Logic-simulation backend (``"compiled"`` — the fused
+            levelised kernel, default — or ``"loop"``, the per-gate
+            reference sweep); see :class:`~repro.simulation.LogicSimulator`.
+            With the compiled backend the power plan indexes the
+            simulator's state matrix directly, so no per-net value
+            marshalling happens between simulation and power extraction.
 
     Raises:
         SimulationError: if a masked gate has fewer than two data inputs
             (malformed masked composite).
+        ValueError: for unknown ``sim_backend`` selectors.
     """
 
     def __init__(
@@ -169,6 +184,7 @@ class PowerTraceGenerator:
         seed: int = 0,
         vectorised: bool = True,
         trace_dtype: np.dtype = np.float32,
+        sim_backend: str = "compiled",
     ) -> None:
         self.netlist = netlist
         self.library = library if library is not None else netlist.library
@@ -176,7 +192,8 @@ class PowerTraceGenerator:
         self.seed = seed
         self.vectorised = bool(vectorised)
         self.trace_dtype = np.dtype(trace_dtype)
-        self._simulator = LogicSimulator(netlist)
+        self.sim_backend = sim_backend
+        self._simulator = LogicSimulator(netlist, backend=sim_backend)
         self._model = GatePowerModel(self.library, self.config, seed=seed)
 
         unmasked: List[Gate] = []
@@ -222,18 +239,29 @@ class PowerTraceGenerator:
     def _build_plan(self, unmasked: List[Gate], masked: List[Gate]) -> None:
         config = self.config
         # Unique nets whose values feed the engine; both the unmasked watch
-        # rows and the masked data inputs index into one net-value matrix
-        # filled once per campaign evaluation.
+        # rows and the masked data inputs index into one net-value matrix.
+        # With the compiled simulation backend that matrix *is* the
+        # simulator's state matrix (rows adopt the plan's signal numbering,
+        # undriven nets share its constant-zero row), so per-evaluation
+        # marshalling is a zero-copy view; with the loop backend a compact
+        # matrix is filled from the net-value dict per evaluation.
+        sim_plan = self._simulator.plan
         net_positions: Dict[str, int] = {}
         sim_nets: List[str] = []
 
-        def net_row(net: str) -> int:
-            position = net_positions.get(net)
-            if position is None:
-                position = len(sim_nets)
-                net_positions[net] = position
-                sim_nets.append(net)
-            return position
+        if sim_plan is not None:
+            plan_index = sim_plan.signal_index
+
+            def net_row(net: str) -> int:
+                return plan_index.get(net, 0)
+        else:
+            def net_row(net: str) -> int:
+                position = net_positions.get(net)
+                if position is None:
+                    position = len(sim_nets)
+                    net_positions[net] = position
+                    sim_nets.append(net)
+                return position
 
         # Unmasked gates: one watch net per gate (the output for
         # combinational cells, the data input for registers) and broadcast
@@ -370,6 +398,11 @@ class PowerTraceGenerator:
                 ``numpy.random.default_rng(seed)`` instead of the model's
                 sequential stream, making the generated traces independent
                 of how the surrounding campaign was chunked or sharded.
+                The TVLA drivers pass the streams spawned per ``(seed,
+                class, group, chunk)`` by
+                :func:`repro.tvla.assessment.chunk_seed_streams`; shards of
+                one campaign hand in the sub-range of streams matching
+                their global chunk offset, never streams of their own.
 
         Raises:
             ValueError: if ``chunk_traces < 1`` or ``seeds`` does not have
@@ -397,7 +430,15 @@ class PowerTraceGenerator:
 
     # ------------------------------------------------------------------
     def _net_matrix(self, result: SimulationResult) -> np.ndarray:
-        """Fill the planned net values into one ``(n_nets, n)`` uint8 matrix."""
+        """Net values as a uint8 matrix indexed by the plan's net rows.
+
+        Compiled simulation backend: the plan's rows index straight into
+        the simulator's state matrix, so this is a zero-copy view.  Loop
+        backend: a compact ``(n_nets, n)`` matrix is filled from the
+        net-value mapping.
+        """
+        if result.state_matrix is not None:
+            return result.state_matrix.view(np.uint8)
         n = result.n_vectors
         matrix = np.empty((len(self._sim_nets), n), dtype=bool)
         for index, net in enumerate(self._sim_nets):

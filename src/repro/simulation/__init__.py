@@ -1,4 +1,4 @@
-"""Vectorised gate-level logic simulation."""
+"""Vectorised gate-level logic simulation (levelise → compile → execute)."""
 
 from .logic import MASKED_DATA_INPUTS, evaluate_gate, gate_truth_table
 from .levelize import (
@@ -7,7 +7,9 @@ from .levelize import (
     level_groups,
     topological_gate_order,
 )
+from .compiled import CompilationError, CompiledNetlist, GateSegment
 from .simulator import (
+    SIM_BACKENDS,
     LogicSimulator,
     SimulationError,
     SimulationResult,
@@ -37,6 +39,10 @@ __all__ = [
     "gate_levels",
     "level_groups",
     "topological_gate_order",
+    "CompilationError",
+    "CompiledNetlist",
+    "GateSegment",
+    "SIM_BACKENDS",
     "LogicSimulator",
     "SimulationError",
     "SimulationResult",

@@ -20,8 +20,11 @@ class LevelizationError(Exception):
     """Raised when a netlist cannot be levelised (combinational loops)."""
 
 
-def topological_gate_order(netlist: Netlist) -> List[str]:
-    """Return combinational gate names in dependency order.
+def _sorted_combinational_dag(netlist: Netlist):
+    """Build the combinational DAG once and topologically sort it.
+
+    Shared by the public helpers below so a levelisation query costs one
+    graph construction instead of one per helper.
 
     Raises:
         LevelizationError: if the combinational portion contains a cycle.
@@ -33,15 +36,27 @@ def topological_gate_order(netlist: Netlist) -> List[str]:
         raise LevelizationError(
             f"netlist {netlist.name!r} has a combinational loop"
         ) from exc
+    return dag, order
+
+
+def topological_gate_order(netlist: Netlist) -> List[str]:
+    """Return combinational gate names in dependency order.
+
+    Raises:
+        LevelizationError: if the combinational portion contains a cycle.
+    """
+    _, order = _sorted_combinational_dag(netlist)
     return [name for name in order if name in netlist]
 
 
 def gate_levels(netlist: Netlist) -> Dict[str, int]:
     """Map each combinational gate to its logic level (1 = fed by sources)."""
-    dag = combinational_graph(netlist)
+    dag, order = _sorted_combinational_dag(netlist)
     levels: Dict[str, int] = {}
-    for name in topological_gate_order(netlist):
-        preds = [p for p in dag.predecessors(name)]
+    for name in order:
+        if name not in netlist:
+            continue
+        preds = dag.predecessors(name)
         levels[name] = 1 + max((levels.get(p, 0) for p in preds), default=0)
     return levels
 

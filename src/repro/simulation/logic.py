@@ -83,6 +83,22 @@ MASKED_DATA_INPUTS: Dict[GateType, int] = {
 }
 
 
+def supports_static_dispatch(gate_type: GateType, n_inputs: int) -> bool:
+    """Whether ``(gate_type, n_inputs)`` can skip the checked evaluate path.
+
+    Shared by both simulator backends: the loop backend resolves such gates
+    to bare evaluators at compile time, and the fused planner
+    (:mod:`repro.simulation.compiled`) only accepts gates satisfying this
+    predicate — anything else keeps (or falls back to) the lazily raising
+    :func:`evaluate_gate` semantics.  Keeping the condition in one place is
+    what keeps the two backends' accept/reject behaviour identical.
+    """
+    return (gate_type in _EVALUATORS and n_inputs >= 1
+            and not (gate_type is GateType.MUX and n_inputs != 3)
+            and not (gate_type in (GateType.NOT, GateType.BUF)
+                     and n_inputs != 1))
+
+
 def evaluate_gate(gate_type: GateType, operands: Sequence[BoolArray]) -> BoolArray:
     """Evaluate ``gate_type`` on vectorised boolean ``operands``.
 

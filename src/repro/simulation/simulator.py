@@ -1,10 +1,19 @@
 """Vectorised gate-level logic simulator.
 
 The simulator evaluates a whole netlist for a *batch* of input vectors at
-once: every net's value is a boolean array of shape ``(n_vectors,)`` and
-every gate evaluation is a single numpy operation.  This batching is what
-makes simulation-based TVLA campaigns (thousands of traces per design)
-tractable in pure Python.
+once: every net's value is a boolean array of shape ``(n_vectors,)``.  Two
+interchangeable backends implement the sweep:
+
+* ``"compiled"`` (default) — the fused levelised kernel of
+  :mod:`repro.simulation.compiled`: a :class:`CompiledNetlist` plan is built
+  once per simulator and each :meth:`LogicSimulator.evaluate` call runs a
+  handful of large numpy segment kernels over one ``(n_signals, batch)``
+  state matrix, releasing the GIL for the bulk of the work;
+* ``"loop"`` — the reference per-gate Python loop (one vectorised evaluator
+  call per gate), kept as the bit-identical oracle for regression tests.
+
+Netlists the planner cannot fuse fall back to the loop transparently, which
+preserves the reference engine's lazy error behaviour for malformed gates.
 
 Sequential designs are handled by treating flip-flop outputs as additional
 inputs of the combinational core: :meth:`LogicSimulator.evaluate` accepts an
@@ -14,19 +23,54 @@ optional register state and returns the next state, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from collections.abc import Mapping as AbcMapping
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..netlist.cell_library import GateType
 from ..netlist.netlist import Netlist, NetlistError
+from .compiled import CompilationError, CompiledNetlist
 from .levelize import topological_gate_order
-from .logic import _EVALUATORS, evaluate_gate
+from .logic import _EVALUATORS, evaluate_gate, supports_static_dispatch
+
+#: Simulation backends accepted by :class:`LogicSimulator` (and, downstream,
+#: by ``TvlaConfig.sim_backend`` / ``PowerTraceGenerator``).
+SIM_BACKENDS = ("compiled", "loop")
 
 
 class SimulationError(Exception):
     """Raised for inconsistent stimulus (missing inputs, shape mismatch)."""
+
+
+class _StateNetValues(AbcMapping):
+    """Lazy ``net -> value`` mapping over a compiled state matrix.
+
+    Behaves like the loop backend's ``net_values`` dictionary, but each
+    lookup returns a (read-only) row view of the state matrix, created on
+    demand.  Skipping the eager construction of one view object per net
+    keeps the compiled fast path free of per-net Python work; bulk
+    consumers should gather from
+    :attr:`SimulationResult.state_matrix` directly.
+    """
+
+    __slots__ = ("_matrix", "_rows")
+
+    def __init__(self, matrix: np.ndarray, rows: Mapping[str, int]) -> None:
+        self._matrix = matrix
+        self._rows = rows
+
+    def __getitem__(self, net: str) -> np.ndarray:
+        return self._matrix[self._rows[net]]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, net: object) -> bool:
+        return net in self._rows
 
 
 @dataclass
@@ -38,11 +82,19 @@ class SimulationResult:
         next_state: Mapping DFF output net -> value captured at the clock
             edge (i.e. the DFF input values of this evaluation).
         n_vectors: Batch size.
+        state_matrix: The compiled backend's read-only ``(n_signals,
+            n_vectors)`` state matrix (``None`` for the loop backend).
+            ``net_values`` entries are row views of it; bulk consumers
+            index it directly instead of walking the mapping — the power
+            engine adopts the plan's row numbering outright
+            (``plan.signal_index``), and ad-hoc net sets resolve rows via
+            :meth:`LogicSimulator.signal_rows`.
     """
 
-    net_values: Dict[str, np.ndarray]
+    net_values: Mapping[str, np.ndarray]
     next_state: Dict[str, np.ndarray]
     n_vectors: int
+    state_matrix: Optional[np.ndarray] = field(default=None, repr=False)
 
     def output_values(self, netlist: Netlist) -> Dict[str, np.ndarray]:
         """Values of the netlist's primary outputs."""
@@ -56,38 +108,86 @@ class SimulationResult:
 class LogicSimulator:
     """Reusable simulator bound to one netlist.
 
-    The topological gate order is computed once in the constructor; each
-    :meth:`evaluate` call is then a linear sweep over the gates.
+    The evaluation plan is computed once in the constructor and reused
+    across every :meth:`evaluate` call (and every cycle of
+    :meth:`run_cycles`): the compiled backend builds a
+    :class:`~repro.simulation.compiled.CompiledNetlist` of fused levelised
+    segments, the loop backend resolves each gate's evaluator into a flat
+    topological list.
+
+    Args:
+        netlist: The design to simulate.
+        backend: ``"compiled"`` (default, the fused levelised kernel) or
+            ``"loop"`` (the per-gate reference sweep).  A netlist the
+            planner cannot fuse silently falls back to the loop; the
+            backend actually in use is exposed as :attr:`backend`.
+
+    Raises:
+        ValueError: for unknown backend selectors.
     """
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(self, netlist: Netlist, backend: str = "compiled") -> None:
+        if backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SIM_BACKENDS}, got {backend!r}")
         self.netlist = netlist
-        self._order: List[str] = topological_gate_order(netlist)
         self._dff_gates = list(netlist.sequential_gates())
-        # Compile the evaluation sweep once: resolve each gate's evaluator,
-        # input tuple and output-inversion flag so the per-batch loop is a
-        # straight run of vectorised ufunc calls.  Gates whose operand
-        # counts cannot be validated statically keep the checked
-        # :func:`evaluate_gate` path (and its lazy errors).
+
+        #: The fused levelised plan, or ``None`` when the loop backend is
+        #: active (requested, or forced by an unfusable netlist).
+        self._plan: Optional[CompiledNetlist] = None
+        if backend == "compiled":
+            try:
+                self._plan = CompiledNetlist(netlist)
+            except CompilationError:
+                self._plan = None
+
+        # The loop dispatch plan is only built when it will actually run
+        # (requested loop backend, or compiled fallback): resolve each
+        # gate's evaluator, input tuple and output-inversion flag so the
+        # per-batch loop is a straight run of vectorised ufunc calls.
+        # Gates whose operand counts cannot be validated statically keep
+        # the checked :func:`evaluate_gate` path (and its lazy errors) —
+        # the same predicate the fused planner enforces, so the backends
+        # accept/reject identical netlists.
+        self._order: List[str] = []
         self._compiled = []
-        for name in self._order:
-            gate = netlist.gate(name)
-            evaluator = _EVALUATORS.get(gate.gate_type)
-            n_inputs = len(gate.inputs)
-            valid = (evaluator is not None and n_inputs >= 1
-                     and not (gate.gate_type is GateType.MUX and n_inputs != 3)
-                     and not (gate.gate_type in (GateType.NOT, GateType.BUF)
-                              and n_inputs != 1))
-            if not valid:
-                evaluator = (lambda operands, gate_type=gate.gate_type:
-                             evaluate_gate(gate_type, operands))
-            # Masked composites that replaced an inverting primitive
-            # (NAND/NOR/XNOR) fold the inversion into their recombination
-            # stage; honour that through the transform's attribute.
-            inverted = bool(gate.gate_type.is_masked
-                            and gate.attributes.get("inverted_output"))
-            self._compiled.append(
-                (evaluator, tuple(gate.inputs), gate.output, inverted))
+        if self._plan is None:
+            self._order = topological_gate_order(netlist)
+            for name in self._order:
+                gate = netlist.gate(name)
+                if supports_static_dispatch(gate.gate_type, len(gate.inputs)):
+                    evaluator = _EVALUATORS[gate.gate_type]
+                else:
+                    evaluator = (lambda operands, gate_type=gate.gate_type:
+                                 evaluate_gate(gate_type, operands))
+                # Masked composites that replaced an inverting primitive
+                # (NAND/NOR/XNOR) fold the inversion into their
+                # recombination stage; honour the transform's attribute.
+                inverted = bool(gate.gate_type.is_masked
+                                and gate.attributes.get("inverted_output"))
+                self._compiled.append(
+                    (evaluator, tuple(gate.inputs), gate.output, inverted))
+        #: The backend actually in use (``"compiled"`` or ``"loop"``).
+        self.backend: str = "compiled" if self._plan is not None else "loop"
+
+    @property
+    def plan(self) -> Optional[CompiledNetlist]:
+        """The compiled plan (``None`` when the loop backend is active)."""
+        return self._plan
+
+    def signal_rows(self, nets: Sequence[str]) -> Optional[np.ndarray]:
+        """State-matrix rows of ``nets`` for bulk gathers.
+
+        Returns ``None`` when the loop backend is active (no state matrix
+        exists); otherwise an index array suitable for
+        ``result.state_matrix[rows]``.  Unknown/undriven nets map to the
+        shared constant-zero row, matching the loop's zero-default
+        semantics.
+        """
+        if self._plan is None:
+            return None
+        return self._plan.rows_for(nets)
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -111,10 +211,31 @@ class LogicSimulator:
             SimulationError: if inputs are missing or shapes disagree.
         """
         n_vectors = self._batch_size(input_values)
-        values: Dict[str, np.ndarray] = {}
         for net in self.netlist.primary_inputs:
             if net not in input_values:
                 raise SimulationError(f"missing stimulus for primary input {net!r}")
+
+        state_values: Dict[str, np.ndarray] = {}
+        if state:
+            for gate in self._dff_gates:
+                if gate.output in state:
+                    value = np.asarray(state[gate.output], dtype=bool)
+                    if value.shape != (n_vectors,):
+                        raise SimulationError(
+                            f"state for register {gate.output!r} has shape "
+                            f"{value.shape}; expected ({n_vectors},)")
+                    state_values[gate.output] = value
+
+        if self._plan is not None:
+            # The plan casts/copies stimulus while packing, so no per-net
+            # asarray pass is needed on this path.
+            matrix = self._plan.execute(input_values, state_values, n_vectors)
+            net_values = _StateNetValues(matrix, self._plan.signal_index)
+            return SimulationResult(net_values, self._plan.next_state(matrix),
+                                    n_vectors, state_matrix=matrix)
+
+        values: Dict[str, np.ndarray] = {}
+        for net in self.netlist.primary_inputs:
             values[net] = np.asarray(input_values[net], dtype=bool)
 
         # One shared default buffer backs every undriven net and DFF
@@ -124,13 +245,8 @@ class LogicSimulator:
         zeros = np.zeros(n_vectors, dtype=bool)
         zeros.setflags(write=False)
         for gate in self._dff_gates:
-            if state is not None and gate.output in state:
-                value = np.asarray(state[gate.output], dtype=bool)
-                if value.shape != (n_vectors,):
-                    raise SimulationError(
-                        f"state for register {gate.output!r} has shape "
-                        f"{value.shape}; expected ({n_vectors},)")
-                values[gate.output] = value
+            if gate.output in state_values:
+                values[gate.output] = state_values[gate.output]
             else:
                 values[gate.output] = zeros
 
@@ -187,9 +303,13 @@ class LogicSimulator:
         sizes = set()
         scalars = []
         for net, value in input_values.items():
-            array = np.asarray(value)
-            if array.ndim >= 1:
-                sizes.add(array.shape[0])
+            # Fast path: stimulus is usually already ndarray; only coerce
+            # lists/scalars, so the check costs no per-net allocations.
+            shape = getattr(value, "shape", None)
+            if shape is None:
+                shape = np.asarray(value).shape
+            if len(shape) >= 1:
+                sizes.add(shape[0])
             else:
                 scalars.append(net)
         if not sizes:

@@ -41,6 +41,7 @@ import numpy as np
 from ..netlist.netlist import Netlist
 from ..power.model import PowerModelConfig
 from ..power.traces import PowerTraceGenerator
+from ..simulation.simulator import SIM_BACKENDS
 from ..simulation.vectors import (
     TraceCampaign,
     fixed_vs_fixed_campaigns,
@@ -95,6 +96,13 @@ class TvlaConfig:
             above 1 are computed from the moment accumulators (the engine
             tracks central moments up to ``2 * tvla_order``), so they force
             the streaming path regardless of ``streaming``.
+        sim_backend: Logic-simulation backend driving trace generation:
+            ``"compiled"`` (default) runs the fused levelised kernel of
+            :mod:`repro.simulation.compiled`, which releases the GIL for
+            the bulk of each chunk and lets thread-pool shards scale;
+            ``"loop"`` keeps the per-gate reference sweep (the regression
+            oracle).  Both backends generate bit-identical traces, so
+            t-values agree exactly for a given seed.
     """
 
     n_traces: int = 1000
@@ -106,6 +114,7 @@ class TvlaConfig:
     chunk_traces: int = 2048
     streaming: Optional[bool] = None
     tvla_order: int = 1
+    sim_backend: str = "compiled"
 
     def __post_init__(self) -> None:
         if self.chunk_traces < 1:
@@ -114,6 +123,10 @@ class TvlaConfig:
             raise ValueError(
                 f"tvla_order must be one of {SUPPORTED_TVLA_ORDERS}, "
                 f"got {self.tvla_order!r}")
+        if self.sim_backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"sim_backend must be one of {SIM_BACKENDS}, "
+                f"got {self.sim_backend!r}")
 
     def resolved_streaming(self) -> bool:
         """Whether assessments with this config stream their moments.
@@ -488,7 +501,8 @@ def resolve_generator(netlist: Netlist, config: TvlaConfig,
     """Return a generator for ``netlist``, validating a caller-supplied one."""
     if generator is None:
         return PowerTraceGenerator(netlist, config=config.power,
-                                   seed=config.seed)
+                                   seed=config.seed,
+                                   sim_backend=config.sim_backend)
     if generator.netlist is not netlist:
         raise ValueError(
             f"generator was built for netlist {generator.netlist.name!r}, "

@@ -124,13 +124,18 @@ def _shard_moments_rebuilt(netlist: Netlist,
     Module-level (picklable) and self-contained: the worker receives the
     netlist plus already-sliced campaigns, so only the shard's stimulus
     crosses a process boundary; ``first_chunk`` anchors the slices to
-    their global RNG streams.  Also used by the thread pool when the
+    their global RNG streams (each chunk consumes the
+    :func:`repro.tvla.assessment.chunk_seed_streams` stream of its global
+    ``(seed, class, group, chunk)`` coordinates, which is what makes the
+    result shard-layout invariant).  Also used by the thread pool when the
     reference loop engine is selected (``vectorised=False``): the loop
     path mutates per-generator model state, so each task gets a private
-    generator instead of sharing one.
+    generator instead of sharing one.  The simulation backend follows
+    ``config.sim_backend``.
     """
     generator = PowerTraceGenerator(netlist, config=config.power,
-                                    seed=config.seed, vectorised=vectorised)
+                                    seed=config.seed, vectorised=vectorised,
+                                    sim_backend=config.sim_backend)
     return [
         accumulate_campaign_slice(generator, pair, config, class_index,
                                   first_chunk=first_chunk)

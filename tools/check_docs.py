@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Documentation checker: intra-repo links and fenced doctest examples.
+
+Run by the CI ``docs`` job (and by ``tests/test_docs.py`` in the tier-1
+suite) over ``README.md`` and ``docs/*.md``:
+
+1. **Link check** — every relative markdown link ``[text](target)`` must
+   resolve to an existing file (anchors are stripped; ``http(s)://`` and
+   ``mailto:`` targets are skipped).
+2. **Doctest check** — every fenced ```` ```python ```` / ```` ```pycon ````
+   block that contains ``>>>`` prompts is executed with
+   :mod:`doctest`; outputs must match.  Fenced blocks without prompts are
+   illustrative snippets and are not executed.
+
+Exits non-zero with a per-failure report; prints a one-line summary on
+success.  Builds nothing heavy — a full run takes a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+#: Markdown inline links: [text](target).  Images ![alt](target) match too
+#: (the leading "!" is irrelevant for resolution).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced code blocks with an explicit language tag.
+_FENCE_RE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+#: Link targets that are not repo files.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[Path]:
+    """The markdown files covered by the checker."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(path: Path) -> List[str]:
+    """Return one error string per broken intra-repo link in ``path``."""
+    errors = []
+    for match in _LINK_RE.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        resolved, _, _anchor = target.partition("#")
+        if not resolved:
+            continue  # pure in-page anchor
+        candidate = (path.parent / resolved).resolve()
+        if not candidate.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                          f"-> {target}")
+    return errors
+
+
+def doctest_blocks(path: Path) -> List[Tuple[int, str]]:
+    """(line number, source) of every fenced doctest block in ``path``."""
+    text = path.read_text()
+    blocks = []
+    for match in _FENCE_RE.finditer(text):
+        language, body = match.group(1).lower(), match.group(2)
+        if language in ("python", "pycon") and ">>>" in body:
+            line = text.count("\n", 0, match.start()) + 1
+            blocks.append((line, body))
+    return blocks
+
+
+def check_doctests(path: Path) -> List[str]:
+    """Run ``path``'s fenced doctest blocks; return one error per failure."""
+    errors = []
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False,
+                                   optionflags=doctest.ELLIPSIS)
+    for line, body in doctest_blocks(path):
+        name = f"{path.relative_to(REPO_ROOT)}:{line}"
+        test = parser.get_doctest(body, {}, name, str(path), line)
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            errors.append(f"{name}: {result.failed} doctest failure(s) "
+                          f"(run `python tools/check_docs.py` for details)")
+    return errors
+
+
+def main() -> int:
+    """Check all documentation files; return a process exit code."""
+    files = doc_files()
+    errors: List[str] = []
+    n_blocks = 0
+    for path in files:
+        errors.extend(check_links(path))
+        n_blocks += len(doctest_blocks(path))
+        errors.extend(check_doctests(path))
+    if errors:
+        for error in errors:
+            print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(files)} file(s), {n_blocks} doctest block(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

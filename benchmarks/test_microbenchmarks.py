@@ -309,6 +309,85 @@ def test_sharded_tvla_scaling(masked_design, recorder):
     ))
 
 
+def test_campaign_overhead_microbench(design, recorder, tmp_path):
+    """Queue + store overhead of the campaign subsystem vs in-process shards.
+
+    Runs the same 2-shard campaign three ways — in-process thread pool,
+    queue-backed ``QueueExecutor`` (SQLite lease/ack per shard), and the
+    full durable runner (submit → work → checkpoint → merge → store) —
+    plus a store cache hit, and records the wall-clock of each as
+    ``microbench_campaign_overhead`` in ``latest.json``.  Correctness is
+    asserted (~1e-12 against the in-process result, bit-identical for the
+    cache hit); the recorded overhead documents what durability costs at
+    small scale, where the fixed per-task queue round-trips are most
+    visible — at paper scale the shard compute dominates.
+    """
+    from repro.campaign import QueueExecutor, collect_result, run_campaign, \
+        submit_campaign
+
+    config = TvlaConfig(n_traces=600, n_fixed_classes=2, seed=11,
+                        chunk_traces=150, streaming=True)
+    n_shards = 2
+
+    start = time.perf_counter()
+    in_process = assess_leakage_sharded(design, config, n_shards=n_shards,
+                                        executor="thread",
+                                        max_workers=n_shards)
+    in_process_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with QueueExecutor(tmp_path / "queue.sqlite", n_workers=n_shards) as pool:
+        queued = assess_leakage_sharded(design, config, n_shards=n_shards,
+                                        executor=pool)
+    queue_seconds = time.perf_counter() - start
+    np.testing.assert_allclose(queued.t_values, in_process.t_values,
+                               rtol=1e-12, atol=1e-12)
+
+    root = tmp_path / "campaigns"
+    start = time.perf_counter()
+    durable = run_campaign(root, design, config, n_shards=n_shards,
+                           n_workers=n_shards)
+    durable_seconds = time.perf_counter() - start
+    np.testing.assert_allclose(durable.t_values, in_process.t_values,
+                               rtol=1e-12, atol=1e-12)
+
+    start = time.perf_counter()
+    outcome = submit_campaign(root, netlist=design, config=config,
+                              n_shards=n_shards)
+    cached = collect_result(root, outcome.spec_hash)
+    cache_seconds = time.perf_counter() - start
+    assert outcome.status == "cached"
+    assert np.array_equal(cached.t_values, durable.t_values)
+
+    rows = [{
+        "variant": variant,
+        "design": design.name,
+        "n_shards": n_shards,
+        "n_traces": config.n_traces,
+        "seconds": seconds,
+        "overhead_pct": (seconds - in_process_seconds)
+        / in_process_seconds * 100.0,
+    } for variant, seconds in (
+        ("in_process_thread", in_process_seconds),
+        ("queue_executor", queue_seconds),
+        ("durable_campaign", durable_seconds),
+        ("store_cache_hit", cache_seconds),
+    )]
+    recorder.record(ExperimentRecord(
+        experiment_id="microbench_campaign_overhead",
+        description=("Queue+store overhead of repro.campaign vs in-process "
+                     "sharding (2 shards, 600 traces x 2 classes), plus the "
+                     "content-addressed cache hit"),
+        parameters={"scale": BENCH_SCALE, "n_traces": config.n_traces,
+                    "chunk_traces": config.chunk_traces,
+                    "n_shards": n_shards, "cpu_count": os.cpu_count()},
+        rows=rows,
+    ))
+    # A cache hit only reads and deserialises one JSON object; even on a
+    # loaded runner it must beat re-simulating the campaign.
+    assert cache_seconds < durable_seconds
+
+
 def test_welch_two_pass_throughput(benchmark):
     rng = np.random.default_rng(0)
     group0 = rng.normal(size=(2000, 300))

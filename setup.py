@@ -1,4 +1,24 @@
-"""Setuptools shim so `pip install -e .` works without the wheel package."""
-from setuptools import setup
+"""Packaging for the POLARIS reproduction.
 
-setup()
+Kept as a plain ``setup.py`` (no wheel/pyproject machinery required in the
+reproduction container); ``pip install -e .`` exposes the ``repro``
+package and the ``polaris-campaign`` campaign-orchestration CLI.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="polaris-repro",
+    version="1.0.0",
+    description=("Reproduction of POLARIS: XAI-guided power side-channel "
+                 "leakage mitigation (DAC 2025), with distributed TVLA "
+                 "campaign orchestration"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+    entry_points={
+        "console_scripts": [
+            "polaris-campaign = repro.campaign.cli:main",
+        ],
+    },
+)

@@ -18,6 +18,11 @@ offline, pure-Python substrate:
   boosting, AdaBoost, SMOTE) and SHAP explainability with rule extraction;
 * :mod:`repro.core` -- the POLARIS algorithms (cognition generation and
   XAI-guided masking) and the end-to-end pipeline;
+* :mod:`repro.campaign` -- distributed, resumable TVLA campaign
+  orchestration: content-hashed campaign specs, a SQLite task queue with
+  lease/ack/retry (``QueueExecutor`` plugs into the sharded drivers),
+  checkpoint/resume, a content-addressed result store and the
+  ``polaris-campaign`` CLI;
 * :mod:`repro.baselines` -- the VALIANT comparison flow;
 * :mod:`repro.workloads` -- the training / evaluation design suites.
 
@@ -34,6 +39,7 @@ Quickstart::
 
 from . import (
     baselines,
+    campaign,
     core,
     features,
     masking,
@@ -50,6 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "baselines",
+    "campaign",
     "core",
     "features",
     "masking",

@@ -1,0 +1,93 @@
+"""Optional distributed-executor adapters (dask / MPI) behind guarded imports.
+
+The sharded TVLA drivers accept any :class:`concurrent.futures.Executor`,
+so clusters that already run `dask.distributed` or MPI can serve shards
+without the SQLite queue.  Neither library is a dependency of this
+package: the factories import lazily and raise a clear
+:class:`OptionalDependencyError` when the backend is absent, so importing
+:mod:`repro.campaign` never requires them.
+
+Both adapters wrap the foreign executor in :class:`CrossProcessExecutor`,
+which advertises ``cross_process = True`` — the sharding drivers then ship
+pickled netlists and let every worker rebuild its own trace generator,
+exactly as they do for process pools.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, Future
+from typing import Callable, Optional
+
+
+class OptionalDependencyError(ImportError):
+    """An optional distributed backend is not installed."""
+
+
+class CrossProcessExecutor(Executor):
+    """Delegating wrapper that marks an executor as crossing processes.
+
+    Foreign executors (dask's ``ClientExecutor``, ``MPIPoolExecutor``)
+    cannot always take new attributes, so the marker lives on this proxy.
+    ``shutdown`` is forwarded only when the proxy owns the inner executor.
+    """
+
+    cross_process = True
+
+    def __init__(self, inner: Executor, owns_inner: bool = True) -> None:
+        self._inner = inner
+        self._owns_inner = owns_inner
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        return self._inner.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, *,
+                 cancel_futures: bool = False) -> None:
+        if self._owns_inner:
+            try:
+                self._inner.shutdown(wait=wait, cancel_futures=cancel_futures)
+            except TypeError:
+                # Older executor implementations predate cancel_futures.
+                self._inner.shutdown(wait=wait)
+
+
+def dask_executor(client: Optional[object] = None,
+                  **client_kwargs) -> CrossProcessExecutor:
+    """An executor backed by a ``dask.distributed`` cluster.
+
+    Args:
+        client: An existing ``distributed.Client``; when None a new one is
+            created from ``client_kwargs`` (e.g. ``address=...`` for a
+            running scheduler, or nothing for a local cluster).
+
+    Raises:
+        OptionalDependencyError: when ``dask.distributed`` is missing.
+    """
+    try:
+        from distributed import Client
+    except ImportError as exc:
+        raise OptionalDependencyError(
+            "the dask adapter needs the 'distributed' package "
+            "(pip install 'dask[distributed]'); the built-in QueueExecutor "
+            "works without it") from exc
+    owns = client is None
+    if client is None:
+        client = Client(**client_kwargs)
+    return CrossProcessExecutor(client.get_executor(), owns_inner=owns)
+
+
+def mpi_executor(max_workers: Optional[int] = None,
+                 **pool_kwargs) -> CrossProcessExecutor:
+    """An executor backed by ``mpi4py.futures.MPIPoolExecutor``.
+
+    Raises:
+        OptionalDependencyError: when ``mpi4py`` is missing.
+    """
+    try:
+        from mpi4py.futures import MPIPoolExecutor
+    except ImportError as exc:
+        raise OptionalDependencyError(
+            "the MPI adapter needs the 'mpi4py' package; the built-in "
+            "QueueExecutor works without it") from exc
+    return CrossProcessExecutor(
+        MPIPoolExecutor(max_workers=max_workers, **pool_kwargs),
+        owns_inner=True)

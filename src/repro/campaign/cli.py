@@ -1,0 +1,190 @@
+"""``polaris-campaign`` — the campaign orchestration command line.
+
+Four subcommands over a shared campaign root directory::
+
+    polaris-campaign submit --root RUNS --benchmark des3 --traces 600 \\
+        --chunk-traces 128 --shards 4
+    polaris-campaign work   --root RUNS --drain          # run on N hosts
+    polaris-campaign status --root RUNS
+    polaris-campaign result --root RUNS <spec-hash>
+
+``submit`` registers the campaign (idempotent; cache hits short-circuit),
+``work`` serves the queue until stopped or drained, ``status`` shows shard
+progress, and ``result`` waits for completion, merges the shard
+checkpoints, stores the assessment content-addressed, and prints the
+verdict.  See ``docs/campaigns.md`` for the full walkthrough.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..netlist.benchmarks import load_benchmark
+from ..netlist.parser import parse_bench_file
+from ..tvla.assessment import SUPPORTED_TVLA_ORDERS, TvlaConfig
+from .queue import run_worker
+from .runner import (
+    CampaignError,
+    campaign_queue,
+    campaign_status,
+    collect_result,
+    list_campaigns,
+    submit_campaign,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="polaris-campaign",
+        description="Distributed, resumable TVLA campaign orchestration.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser(
+        "submit", help="register a campaign and enqueue its missing shards")
+    submit.add_argument("--root", required=True, type=Path,
+                        help="shared campaign root directory")
+    source = submit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--benchmark",
+                        help="built-in benchmark design name (e.g. des3)")
+    source.add_argument("--bench-file", type=Path,
+                        help="path to a BENCH netlist file")
+    submit.add_argument("--scale", type=float, default=1.0,
+                        help="benchmark size multiplier (with --benchmark)")
+    submit.add_argument("--design-seed", type=int, default=2025,
+                        help="benchmark generator seed (with --benchmark)")
+    submit.add_argument("--shards", type=int, default=2,
+                        help="shard count (capped at the chunk count)")
+    submit.add_argument("--traces", type=int, default=1000,
+                        help="traces per campaign group")
+    submit.add_argument("--chunk-traces", type=int, default=2048,
+                        help="trace-chunk size (shard/RNG granularity)")
+    submit.add_argument("--classes", type=int, default=4,
+                        help="number of fixed input classes")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="campaign stimulus/noise seed")
+    submit.add_argument("--order", type=int, default=1,
+                        choices=SUPPORTED_TVLA_ORDERS,
+                        help="highest TVLA order to evaluate")
+    submit.add_argument("--mode", default="fixed_vs_random",
+                        choices=("fixed_vs_random", "fixed_vs_fixed"))
+
+    work = commands.add_parser(
+        "work", help="serve the queue: claim, execute and ack shard tasks")
+    work.add_argument("--root", required=True, type=Path)
+    work.add_argument("--worker", default=None,
+                      help="worker id recorded on leases (default: pid)")
+    work.add_argument("--max-tasks", type=int, default=None,
+                      help="exit after this many tasks")
+    work.add_argument("--lease-seconds", type=float, default=None,
+                      help="per-claim lease override")
+    work.add_argument("--poll-interval", type=float, default=0.1,
+                      help="idle sleep between empty claims")
+    work.add_argument("--drain", action="store_true",
+                      help="exit once no outstanding work remains "
+                           "(waits out other workers' live leases)")
+
+    status = commands.add_parser(
+        "status", help="show campaign progress under a root")
+    status.add_argument("--root", required=True, type=Path)
+    status.add_argument("spec_hash", nargs="?", default=None,
+                        help="restrict to one campaign")
+
+    result = commands.add_parser(
+        "result", help="wait for, merge, store and print a campaign result")
+    result.add_argument("--root", required=True, type=Path)
+    result.add_argument("spec_hash")
+    result.add_argument("--timeout", type=float, default=None,
+                        help="give up after this many seconds")
+    result.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full result as JSON")
+    return parser
+
+
+def _submit(args: argparse.Namespace) -> int:
+    if args.benchmark is not None:
+        netlist = load_benchmark(args.benchmark, scale=args.scale,
+                                 seed=args.design_seed)
+    else:
+        netlist = parse_bench_file(args.bench_file)
+    config = TvlaConfig(n_traces=args.traces, mode=args.mode,
+                        n_fixed_classes=args.classes, seed=args.seed,
+                        chunk_traces=args.chunk_traces,
+                        tvla_order=args.order)
+    outcome = submit_campaign(args.root, netlist=netlist, config=config,
+                              n_shards=args.shards)
+    print(f"{outcome.status} {outcome.spec_hash}")
+    print(f"  design       {outcome.spec.design_name}")
+    print(f"  shards       {outcome.n_shards_done}/{outcome.n_shards_total} "
+          f"done, {outcome.n_enqueued} newly enqueued")
+    if outcome.status == "cached":
+        print("  result is already in the store; "
+              "`polaris-campaign result` serves it without re-simulating")
+    return 0
+
+
+def _work(args: argparse.Namespace) -> int:
+    queue = campaign_queue(args.root)
+    executed = run_worker(queue, worker=args.worker,
+                          max_tasks=args.max_tasks,
+                          poll_interval=args.poll_interval,
+                          lease_seconds=args.lease_seconds,
+                          drain=args.drain)
+    print(f"worker exit: {executed} task(s) executed")
+    return 0
+
+
+def _status(args: argparse.Namespace) -> int:
+    if args.spec_hash is not None:
+        statuses = [campaign_status(args.root, args.spec_hash)]
+    else:
+        statuses = list_campaigns(args.root)
+    if not statuses:
+        print("no campaigns submitted under this root")
+        return 0
+    for status in statuses:
+        print(f"{status.spec_hash[:12]}  {status.state:9s} "
+              f"{status.n_shards_done}/{status.n_shards_total} shards  "
+              f"{status.design_name} ({status.n_traces} traces)")
+        for shard in status.failed_shards:
+            print(f"  shard {shard}: FAILED (see queue error)")
+    return 0
+
+
+def _result(args: argparse.Namespace) -> int:
+    try:
+        assessment = collect_result(args.root, args.spec_hash,
+                                    timeout=args.timeout)
+    except (CampaignError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        from .serialize import assessment_to_dict
+        print(json.dumps(assessment_to_dict(assessment), indent=2))
+        return 0
+    summary = assessment.summary()
+    print(f"design         {assessment.design_name}")
+    print(f"gates          {summary['gates']}")
+    print(f"leaky gates    {assessment.n_leaky}")
+    print(f"mean leakage   {assessment.mean_leakage:.4f}")
+    print(f"max |t|        {summary['max_abs_t']:.3f}")
+    print(f"n_traces       {assessment.n_traces}")
+    print(f"n_shards       {assessment.n_shards}")
+    for order in sorted(assessment.order_t_values):
+        print(f"order-{order} leaky  {assessment.n_leaky_for_order(order)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``polaris-campaign`` console script."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"submit": _submit, "work": _work, "status": _status,
+                "result": _result}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

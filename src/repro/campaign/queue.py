@@ -1,0 +1,552 @@
+"""Filesystem/SQLite-backed task queue with lease/ack/retry semantics.
+
+This is the distributed backend the ROADMAP's executor seam was built for:
+:class:`TaskQueue` is a durable multi-producer/multi-consumer queue living
+in a single SQLite file (WAL mode), and :class:`QueueExecutor` adapts it to
+the :class:`concurrent.futures.Executor` interface — so
+:func:`repro.tvla.sharding.assess_leakage_sharded` / ``assess_many`` gain
+cross-process and cross-machine workers with **zero API change**: pass a
+``QueueExecutor`` wherever ``"thread"``/``"process"`` went before.
+
+Queue protocol (also documented in ``docs/campaigns.md``):
+
+* ``put`` enqueues a payload, optionally under an idempotency ``key`` — a
+  second put of the same key is a no-op returning the existing task, which
+  is what makes campaign resubmission safe.
+* ``claim`` leases the oldest runnable task to a worker for
+  ``lease_seconds``.  A task is runnable when ``pending``, or when
+  ``leased`` with an **expired** lease (the worker died mid-shard); each
+  claim increments the attempt counter and mints a fresh lease token.
+* ``ack`` completes a task — but only with the token of the *current*
+  lease.  If a slow-but-alive worker acks after its lease expired and the
+  task was redelivered, the first valid ack wins and every later ack is a
+  no-op: task results here are deterministic, so duplicate execution is
+  wasted work, never wrong answers.
+* ``fail`` releases a task for retry, or marks it ``failed`` once its
+  attempt budget (``max_attempts``) is exhausted.
+
+Payloads and results are pickled ``(fn, args, kwargs)`` / return values.
+Only run workers against queue files you trust: unpickling executes code,
+exactly as with :class:`~concurrent.futures.ProcessPoolExecutor` inputs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import threading
+import time
+import traceback
+import uuid
+from concurrent.futures import Executor, Future
+from contextlib import closing, contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+#: Task states persisted in the queue database.
+TASK_STATES = ("pending", "leased", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tasks (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    key           TEXT UNIQUE,
+    payload       BLOB NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'pending',
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_attempts  INTEGER NOT NULL,
+    lease_token   TEXT,
+    lease_expires REAL,
+    worker        TEXT,
+    result        BLOB,
+    error         TEXT,
+    enqueued_at   REAL NOT NULL,
+    done_at       REAL
+);
+CREATE INDEX IF NOT EXISTS tasks_status ON tasks (status, id);
+"""
+
+
+class TaskFailedError(RuntimeError):
+    """A queued task exhausted its attempts; carries the worker traceback."""
+
+
+@dataclass(frozen=True)
+class PutOutcome:
+    """Result of :meth:`TaskQueue.put`.
+
+    Attributes:
+        task_id: Id of the (new or pre-existing) task under the key.
+        action: ``"inserted"`` (new row), ``"existing"`` (keyed task
+            already live — pending/leased/done), or ``"requeued"`` (a
+            keyed task that had exhausted its retries was reset to
+            pending with a fresh attempt budget).
+    """
+
+    task_id: int
+    action: str
+
+
+@dataclass(frozen=True)
+class ClaimedTask:
+    """A leased work unit, as handed to a worker by :meth:`TaskQueue.claim`.
+
+    Attributes:
+        task_id: Queue-assigned task id.
+        key: Idempotency key (None for anonymous tasks).
+        payload: The pickled ``(fn, args, kwargs)`` work description.
+        lease_token: Token the worker must present when acking/failing.
+        attempts: 1 for first delivery; > 1 marks a redelivery after a
+            lease expired (at-least-once semantics).
+    """
+
+    task_id: int
+    key: Optional[str]
+    payload: bytes
+    lease_token: str
+    attempts: int
+
+    @property
+    def redelivered(self) -> bool:
+        """Whether an earlier delivery of this task lost its lease."""
+        return self.attempts > 1
+
+
+class TaskQueue:
+    """Durable task queue in one SQLite file (safe across processes).
+
+    Args:
+        path: Database file; created (with parents) on first use.
+        default_lease_seconds: Lease length handed out by :meth:`claim`
+            when the caller does not override it.  Make it comfortably
+            longer than one shard's compute time: an expired lease means
+            "the worker died" to every other worker.
+        default_max_attempts: Attempt budget of tasks enqueued without an
+            explicit override.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 default_lease_seconds: float = 60.0,
+                 default_max_attempts: int = 3) -> None:
+        if default_lease_seconds <= 0:
+            raise ValueError("default_lease_seconds must be > 0")
+        if default_max_attempts < 1:
+            raise ValueError("default_max_attempts must be >= 1")
+        self.path = Path(path)
+        self.default_lease_seconds = float(default_lease_seconds)
+        self.default_max_attempts = int(default_max_attempts)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as connection:
+            connection.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """One short-lived connection per operation.
+
+        Fresh connections sidestep cross-thread sharing rules entirely and
+        make every public method safe from any thread or process; WAL mode
+        plus a generous busy timeout handles concurrent workers on the
+        same file.  Per-shard task granularity makes the connection cost
+        irrelevant.
+        """
+        with closing(sqlite3.connect(str(self.path), timeout=30.0)) as conn:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            with conn:  # one transaction per operation
+                yield conn
+
+    # ------------------------------------------------------------------
+    def put(self, payload: bytes, key: Optional[str] = None,
+            max_attempts: Optional[int] = None) -> PutOutcome:
+        """Enqueue a payload; idempotent when ``key`` is given.
+
+        A keyed put of a live task (pending/leased/done) is a no-op, so
+        resubmitting a campaign never duplicates work.  A keyed put of a
+        **failed** task requeues it with a fresh attempt budget — that is
+        how resubmission recovers a campaign whose shard died on a
+        transient cause (OOM, full disk) after exhausting its retries.
+
+        Returns:
+            A :class:`PutOutcome` (task id + what happened), decided in a
+            single transaction so concurrent submitters cannot double
+            count.
+        """
+        max_attempts = (self.default_max_attempts if max_attempts is None
+                        else int(max_attempts))
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        with self._connect() as conn:
+            if key is not None:
+                conn.execute("BEGIN IMMEDIATE")
+                row = conn.execute(
+                    "SELECT id, status FROM tasks WHERE key = ?",
+                    (key,)).fetchone()
+                if row is not None:
+                    task_id, status = int(row[0]), row[1]
+                    if status != "failed":
+                        return PutOutcome(task_id, "existing")
+                    conn.execute(
+                        "UPDATE tasks SET status = 'pending', attempts = 0,"
+                        " max_attempts = ?, payload = ?, lease_token = NULL,"
+                        " lease_expires = NULL, error = NULL,"
+                        " enqueued_at = ? WHERE id = ?",
+                        (max_attempts, payload, time.time(), task_id))
+                    return PutOutcome(task_id, "requeued")
+            cursor = conn.execute(
+                "INSERT INTO tasks (key, payload, max_attempts, enqueued_at)"
+                " VALUES (?, ?, ?, ?)",
+                (key, payload, max_attempts, time.time()))
+            return PutOutcome(int(cursor.lastrowid), "inserted")
+
+    def claim(self, worker: Optional[str] = None,
+              lease_seconds: Optional[float] = None) -> Optional[ClaimedTask]:
+        """Lease the oldest runnable task, or return None when idle.
+
+        Runnable means ``pending`` or ``leased``-with-expired-lease; a
+        reclaimed expired task whose attempt budget is already spent is
+        marked ``failed`` instead of being handed out again.
+        """
+        worker = worker or f"pid-{os.getpid()}"
+        lease = (self.default_lease_seconds if lease_seconds is None
+                 else float(lease_seconds))
+        now = time.time()
+        with self._connect() as conn:
+            # BEGIN IMMEDIATE serialises competing claims: the first
+            # worker to get the write lock wins the task, everyone else
+            # retries on the next row.
+            conn.execute("BEGIN IMMEDIATE")
+            while True:
+                row = conn.execute(
+                    "SELECT id, key, payload, attempts, max_attempts"
+                    "  FROM tasks"
+                    " WHERE status = 'pending'"
+                    "    OR (status = 'leased' AND lease_expires < ?)"
+                    " ORDER BY id LIMIT 1", (now,)).fetchone()
+                if row is None:
+                    return None
+                task_id, key, payload, attempts, max_attempts = row
+                if attempts >= max_attempts:
+                    # The lease died after the final attempt: retire it.
+                    conn.execute(
+                        "UPDATE tasks SET status = 'failed', error = ?,"
+                        " lease_token = NULL WHERE id = ?",
+                        (f"lease expired after {attempts} attempt(s)",
+                         task_id))
+                    continue
+                token = uuid.uuid4().hex
+                conn.execute(
+                    "UPDATE tasks SET status = 'leased', attempts = ?,"
+                    " lease_token = ?, lease_expires = ?, worker = ?"
+                    " WHERE id = ?",
+                    (attempts + 1, token, now + lease, worker, task_id))
+                return ClaimedTask(task_id=int(task_id), key=key,
+                                   payload=payload, lease_token=token,
+                                   attempts=int(attempts) + 1)
+
+    def ack(self, task_id: int, lease_token: str, result: bytes) -> bool:
+        """Complete a leased task; only the current lease's token counts.
+
+        Returns:
+            True when this ack completed the task; False for stale tokens
+            and duplicate deliveries (first valid ack wins, later acks are
+            no-ops).
+        """
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET status = 'done', result = ?, done_at = ?,"
+                " error = NULL WHERE id = ? AND lease_token = ?"
+                " AND status = 'leased'",
+                (result, time.time(), task_id, lease_token))
+            return cursor.rowcount == 1
+
+    def fail(self, task_id: int, lease_token: str, error: str) -> str:
+        """Report a failed execution; retry until attempts are exhausted.
+
+        Returns:
+            ``"retried"`` (task back to pending), ``"failed"`` (budget
+            exhausted) or ``"stale"`` (the lease was no longer current —
+            the task was redelivered or already finished elsewhere).
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM tasks"
+                " WHERE id = ? AND lease_token = ? AND status = 'leased'",
+                (task_id, lease_token)).fetchone()
+            if row is None:
+                return "stale"
+            attempts, max_attempts = row
+            if attempts >= max_attempts:
+                conn.execute(
+                    "UPDATE tasks SET status = 'failed', error = ?,"
+                    " lease_token = NULL WHERE id = ?", (error, task_id))
+                return "failed"
+            conn.execute(
+                "UPDATE tasks SET status = 'pending', error = ?,"
+                " lease_token = NULL, lease_expires = NULL WHERE id = ?",
+                (error, task_id))
+            return "retried"
+
+    # ------------------------------------------------------------------
+    def outcome(self, task_id: int) -> Tuple[str, Optional[bytes], Optional[str]]:
+        """``(status, result, error)`` of one task.
+
+        Raises:
+            KeyError: for unknown task ids.
+        """
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT status, result, error FROM tasks WHERE id = ?",
+                (task_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"unknown task id {task_id}")
+        return row[0], row[1], row[2]
+
+    def outcome_by_key(self, key: str) -> Optional[Tuple[str, Optional[bytes],
+                                                         Optional[str]]]:
+        """``(status, result, error)`` of a keyed task, or None."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT status, result, error FROM tasks WHERE key = ?",
+                (key,)).fetchone()
+        return None if row is None else (row[0], row[1], row[2])
+
+    def finished(self, task_ids: List[int]) -> Dict[int, Tuple[str, Optional[bytes],
+                                                               Optional[str]]]:
+        """Subset of ``task_ids`` that reached ``done``/``failed``."""
+        if not task_ids:
+            return {}
+        results: Dict[int, Tuple[str, Optional[bytes], Optional[str]]] = {}
+        with self._connect() as conn:
+            for start in range(0, len(task_ids), 500):
+                batch = task_ids[start:start + 500]
+                marks = ",".join("?" for _ in batch)
+                rows = conn.execute(
+                    f"SELECT id, status, result, error FROM tasks"
+                    f" WHERE id IN ({marks})"
+                    f" AND status IN ('done', 'failed')", batch).fetchall()
+                for task_id, status, result, error in rows:
+                    results[int(task_id)] = (status, result, error)
+        return results
+
+    def counts(self) -> Dict[str, int]:
+        """Tasks per state (an expired lease still counts as ``leased``)."""
+        counts = {state: 0 for state in TASK_STATES}
+        with self._connect() as conn:
+            for status, count in conn.execute(
+                    "SELECT status, COUNT(*) FROM tasks GROUP BY status"):
+                counts[status] = int(count)
+        return counts
+
+    def outstanding(self) -> int:
+        """Tasks that are neither done nor failed (pending + leased)."""
+        counts = self.counts()
+        return counts["pending"] + counts["leased"]
+
+
+# ----------------------------------------------------------------------
+# Worker loop (used by QueueExecutor threads and the CLI `work` command)
+# ----------------------------------------------------------------------
+def run_worker(queue: TaskQueue,
+               worker: Optional[str] = None,
+               max_tasks: Optional[int] = None,
+               poll_interval: float = 0.05,
+               lease_seconds: Optional[float] = None,
+               drain: bool = False,
+               stop_event: Optional[threading.Event] = None) -> int:
+    """Claim/execute/ack tasks until stopped; returns the executed count.
+
+    Args:
+        queue: The queue to serve.
+        worker: Worker id recorded on leases (defaults to the pid).
+        max_tasks: Stop after this many executions (None = unbounded).
+        poll_interval: Idle sleep between empty claims.
+        lease_seconds: Per-claim lease override.
+        drain: Stop once the queue holds no outstanding work.  A leased
+            task on another worker still counts as outstanding, so a
+            draining worker waits for dead workers' leases to expire and
+            picks their shards up — which is exactly the resume story.
+        stop_event: Cooperative cancellation for in-process workers.
+
+    Neither a raising task (reported via :meth:`TaskQueue.fail` and
+    retried until its attempt budget runs out) nor transient queue I/O
+    errors (a stalling filesystem, lock contention beyond the busy
+    timeout) kill the worker loop — queue errors are backed off and
+    retried, because a silently dead worker would hang every future
+    waiting on its acks.
+    """
+    executed = 0
+    while stop_event is None or not stop_event.is_set():
+        if max_tasks is not None and executed >= max_tasks:
+            break
+        try:
+            task = queue.claim(worker=worker, lease_seconds=lease_seconds)
+            if task is None and drain and queue.outstanding() == 0:
+                break
+        except (sqlite3.Error, OSError):
+            task = None  # transient queue I/O error: back off and retry
+        if task is None:
+            if stop_event is not None:
+                stop_event.wait(poll_interval)
+            else:
+                time.sleep(poll_interval)
+            continue
+        try:
+            fn, args, kwargs = pickle.loads(task.payload)
+            result = fn(*args, **kwargs)
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            _report_outcome(queue.fail, task.task_id, task.lease_token,
+                            traceback.format_exc())
+        else:
+            _report_outcome(queue.ack, task.task_id, task.lease_token,
+                            payload)
+        executed += 1
+    return executed
+
+
+def _report_outcome(report, task_id: int, lease_token: str,
+                    payload) -> None:
+    """Ack/fail with a short retry; give up to the lease, not the loop.
+
+    If the queue stays unreachable the lease simply expires and the task
+    is redelivered — at-least-once semantics make dropping the report
+    safe, while letting the exception escape would kill the worker.
+    """
+    for attempt in range(3):
+        try:
+            report(task_id, lease_token, payload)
+            return
+        except (sqlite3.Error, OSError):
+            time.sleep(0.05 * (attempt + 1))
+
+
+# ----------------------------------------------------------------------
+# Executor adapter
+# ----------------------------------------------------------------------
+class QueueExecutor(Executor):
+    """A :class:`concurrent.futures.Executor` backed by a :class:`TaskQueue`.
+
+    Drop-in for the sharded TVLA drivers::
+
+        executor = QueueExecutor(root / "queue.sqlite", n_workers=2)
+        with executor:
+            assessment = assess_leakage_sharded(netlist, config,
+                                                n_shards=4,
+                                                executor=executor)
+
+    ``submit`` pickles ``(fn, args, kwargs)`` into the queue and returns a
+    normal :class:`~concurrent.futures.Future`; a daemon poller thread
+    resolves futures as acks land.  Work is executed by whoever serves the
+    queue: the executor's own ``n_workers`` in-process worker threads,
+    and/or external ``polaris-campaign work`` processes on any machine
+    sharing the queue file.  The class advertises ``cross_process = True``
+    so the sharded drivers ship pickled netlists to workers (each task
+    rebuilds its own generator) instead of sharing in-process state.
+    """
+
+    #: Tasks may execute in other processes/hosts; see
+    #: :func:`repro.tvla.sharding._make_executor`.
+    cross_process = True
+
+    def __init__(self, queue: Union[TaskQueue, str, Path],
+                 n_workers: int = 0,
+                 poll_interval: float = 0.05,
+                 lease_seconds: Optional[float] = None) -> None:
+        if not isinstance(queue, TaskQueue):
+            queue = TaskQueue(queue)
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        self.queue = queue
+        self._poll_interval = float(poll_interval)
+        self._lease_seconds = lease_seconds
+        self._lock = threading.Lock()
+        self._futures: Dict[int, Future] = {}
+        self._stop = threading.Event()
+        self._poller: Optional[threading.Thread] = None
+        self._workers = [
+            threading.Thread(
+                target=run_worker,
+                kwargs=dict(queue=self.queue, worker=f"inline-{index}",
+                            poll_interval=self._poll_interval,
+                            lease_seconds=self._lease_seconds,
+                            stop_event=self._stop),
+                name=f"queue-worker-{index}", daemon=True)
+            for index in range(n_workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        """Enqueue ``fn(*args, **kwargs)``; resolve the future on ack."""
+        if self._stop.is_set():
+            raise RuntimeError("cannot submit to a shut-down QueueExecutor")
+        payload = pickle.dumps((fn, args, kwargs),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        task_id = self.queue.put(payload).task_id
+        future: Future = Future()
+        with self._lock:
+            self._futures[task_id] = future
+            if self._poller is None:
+                self._poller = threading.Thread(target=self._poll_loop,
+                                                name="queue-poller",
+                                                daemon=True)
+                self._poller.start()
+        return future
+
+    def _poll_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                waiting = [task_id for task_id, future in self._futures.items()
+                           if not future.done()]
+            if waiting:
+                try:
+                    finished = self.queue.finished(waiting)
+                except Exception:
+                    # Transient DB hiccup (e.g. the queue file's filesystem
+                    # stalls): keep the poller alive and retry next tick —
+                    # a dead poller would hang every outstanding future.
+                    finished = {}
+                for task_id, (status, result, error) in finished.items():
+                    with self._lock:
+                        future = self._futures.pop(task_id, None)
+                    if future is None or future.done():
+                        continue  # resolved or cancelled by the caller
+                    try:
+                        if status == "done":
+                            future.set_result(pickle.loads(result))
+                        else:
+                            future.set_exception(TaskFailedError(
+                                error or "task failed"))
+                    except Exception as exc:
+                        # A result that does not unpickle here (foreign
+                        # worker build) must fail its own future, never
+                        # kill the poller for everyone else.
+                        if not future.done():
+                            future.set_exception(TaskFailedError(
+                                f"task {task_id} result could not be "
+                                f"decoded: {exc!r}"))
+            self._stop.wait(self._poll_interval)
+
+    def shutdown(self, wait: bool = True, *,
+                 cancel_futures: bool = False) -> None:
+        """Stop the poller and in-process workers.
+
+        ``cancel_futures=True`` cancels unresolved futures locally; the
+        underlying queue rows are left untouched (another worker may still
+        complete them — the queue, not the executor, owns task state).
+        """
+        if cancel_futures:
+            with self._lock:
+                futures = list(self._futures.values())
+            for future in futures:
+                future.cancel()
+        self._stop.set()
+        if wait:
+            for thread in self._workers:
+                thread.join(timeout=30.0)
+            if self._poller is not None:
+                self._poller.join(timeout=30.0)

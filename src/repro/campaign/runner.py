@@ -1,0 +1,436 @@
+"""Campaign orchestration: submit, work, checkpoint, resume, collect.
+
+A campaign *root* is one directory shared by every participant (submitters
+and workers — across processes, or across machines via a shared
+filesystem)::
+
+    <root>/
+      queue.sqlite                 task queue (lease/ack/retry)
+      store/objects/<hh>/<hash>.json   content-addressed results
+      campaigns/<hash>/
+        spec.json                  the CampaignSpec (self-contained)
+        shards/shard_0000.moments  durable shard partials (checkpoints)
+
+The unit of work is one chunk-aligned shard: a worker rebuilds the netlist
+and stimulus schedule from ``spec.json``, folds its trace range into
+partial :class:`~repro.tvla.moments.OnePassMoments`, and **atomically**
+publishes the packed partial as ``shards/shard_NNNN.moments`` before
+acking.  That file is the checkpoint: a campaign killed at any point
+resumes by enqueueing only the shards whose partial is missing (idempotent
+``{hash}:shard:{k}`` queue keys make double submission a no-op), and a
+worker killed mid-shard simply loses its lease — the shard is redelivered
+once the lease expires.  Because every chunk's randomness is keyed to its
+global coordinates, the merged result matches the serial assessment to
+floating-point merge error no matter how often work was re-attempted or
+where it ran.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..netlist.netlist import Netlist
+from ..tvla.assessment import (
+    LeakageAssessment,
+    TvlaConfig,
+    aggregate_class_results,
+    campaign_schedule,
+    resolve_generator,
+)
+from ..tvla.sharding import _shard_moments_rebuilt, merge_shard_partials
+from .queue import TaskQueue
+from .serialize import pack_shard_moments, unpack_shard_moments
+from .spec import CampaignSpec
+from .store import ResultStore
+
+
+class CampaignError(RuntimeError):
+    """A campaign cannot make progress (e.g. a shard exhausted retries)."""
+
+
+def _publish_atomically(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a *unique* temp file + rename.
+
+    Concurrent writers of the same path (duplicate shard deliveries whose
+    first execution is still running) each get their own temp file, so the
+    loser of the rename race simply overwrites the winner's identical
+    bytes — a reader can never observe a torn or truncated file.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_path = tempfile.mkstemp(dir=path.parent,
+                                         prefix=f".{path.name}-",
+                                         suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class CampaignPaths:
+    """On-disk layout of one campaign under a shared root."""
+
+    root: Path
+    spec_hash: str
+
+    @property
+    def campaign_dir(self) -> Path:
+        return self.root / "campaigns" / self.spec_hash
+
+    @property
+    def spec_path(self) -> Path:
+        return self.campaign_dir / "spec.json"
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.campaign_dir / "shards"
+
+    def shard_path(self, shard_index: int) -> Path:
+        return self.shards_dir / f"shard_{shard_index:04d}.moments"
+
+    def shard_key(self, shard_index: int) -> str:
+        """Idempotency key of one shard's queue task."""
+        return f"{self.spec_hash}:shard:{shard_index}"
+
+
+def campaign_queue(root: Union[str, Path], **kwargs) -> TaskQueue:
+    """The shared task queue of a campaign root."""
+    return TaskQueue(Path(root) / "queue.sqlite", **kwargs)
+
+
+def campaign_store(root: Union[str, Path]) -> ResultStore:
+    """The content-addressed result store of a campaign root."""
+    return ResultStore(Path(root) / "store")
+
+
+def load_spec(root: Union[str, Path], spec_hash: str) -> CampaignSpec:
+    """Load (and re-verify) a submitted campaign's spec.
+
+    Raises:
+        FileNotFoundError: for unknown campaign hashes.
+        ValueError: when the stored spec no longer matches its hash.
+    """
+    paths = CampaignPaths(Path(root), spec_hash)
+    spec = CampaignSpec.from_json(paths.spec_path.read_text())
+    if spec.content_hash != spec_hash:
+        raise ValueError(
+            f"campaign directory {spec_hash[:12]}… holds a spec hashing to "
+            f"{spec.content_hash[:12]}…")
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Submission
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """What :func:`submit_campaign` did.
+
+    Attributes:
+        spec: The (normalised) submitted spec.
+        spec_hash: Its content hash — the campaign's identity everywhere.
+        status: ``"cached"`` (result already in the store — nothing to
+            run), ``"resumed"`` (some shard checkpoints already existed) or
+            ``"submitted"`` (fresh campaign).
+        n_shards_total: Shards in the campaign's layout.
+        n_shards_done: Shards whose checkpoint already exists.
+        n_enqueued: Tasks newly enqueued by this call (idempotent keys may
+            make this smaller than the number of missing shards).
+    """
+
+    spec: CampaignSpec
+    spec_hash: str
+    status: str
+    n_shards_total: int
+    n_shards_done: int
+    n_enqueued: int
+
+
+def submit_campaign(root: Union[str, Path],
+                    netlist: Optional[Netlist] = None,
+                    config: Optional[TvlaConfig] = None,
+                    n_shards: int = 2,
+                    spec: Optional[CampaignSpec] = None) -> SubmitOutcome:
+    """Register a campaign under ``root`` and enqueue its missing shards.
+
+    Pass either a pre-built ``spec`` or a ``netlist`` (+ optional
+    ``config``/``n_shards``) to build one; the runner always resolves
+    ``streaming=True`` — shard partials are streamed accumulators, the
+    checkpoint unit.  Safe to call any number of times: completed shards
+    are skipped, queued shards are not duplicated, and a campaign whose
+    result is already in the store is reported ``"cached"`` without
+    touching the queue.
+    """
+    root = Path(root)
+    if spec is None:
+        if netlist is None:
+            raise ValueError("submit_campaign needs a netlist or a spec")
+        spec = CampaignSpec.from_netlist(netlist, config, n_shards=n_shards,
+                                         force_streaming=True)
+    spec_hash = spec.content_hash
+    paths = CampaignPaths(root, spec_hash)
+    ranges = spec.shard_ranges()
+
+    if campaign_store(root).has(spec_hash):
+        done = sum(1 for k in range(len(ranges))
+                   if paths.shard_path(k).exists())
+        return SubmitOutcome(spec=spec, spec_hash=spec_hash, status="cached",
+                             n_shards_total=len(ranges), n_shards_done=done,
+                             n_enqueued=0)
+
+    paths.shards_dir.mkdir(parents=True, exist_ok=True)
+    if not paths.spec_path.exists():
+        _publish_atomically(paths.spec_path, spec.to_json().encode("utf-8"))
+
+    queue = campaign_queue(root)
+    missing = [k for k in range(len(ranges))
+               if not paths.shard_path(k).exists()]
+    n_enqueued = 0
+    for shard_index in missing:
+        payload = pickle.dumps(
+            (run_shard_task, (str(root), spec_hash, shard_index), {}),
+            protocol=pickle.HIGHEST_PROTOCOL)
+        # One transaction decides inserted/existing/requeued, so
+        # concurrent submitters cannot double count — and a shard that
+        # previously exhausted its retries (transient crash cause) gets a
+        # fresh attempt budget instead of wedging the campaign forever.
+        outcome = queue.put(payload, key=paths.shard_key(shard_index))
+        if outcome.action in ("inserted", "requeued"):
+            n_enqueued += 1
+    done = len(ranges) - len(missing)
+    return SubmitOutcome(spec=spec, spec_hash=spec_hash,
+                         status="resumed" if done else "submitted",
+                         n_shards_total=len(ranges), n_shards_done=done,
+                         n_enqueued=n_enqueued)
+
+
+# ----------------------------------------------------------------------
+# The worker-side task (module-level: queue payloads must be picklable)
+# ----------------------------------------------------------------------
+def run_shard_task(root: str, spec_hash: str,
+                   shard_index: int) -> Dict[str, object]:
+    """Compute one shard's partial accumulators and checkpoint them.
+
+    Rebuilds everything from ``spec.json`` (netlist, schedule, chunk RNG
+    streams are all pure functions of the spec), folds the shard's trace
+    range, and atomically publishes the packed partial.  Idempotent: if
+    the checkpoint already exists — e.g. this is a duplicate delivery
+    whose first execution acked late — the recompute is skipped.
+    """
+    paths = CampaignPaths(Path(root), spec_hash)
+    shard_path = paths.shard_path(shard_index)
+    if shard_path.exists():
+        return {"spec_hash": spec_hash, "shard": shard_index,
+                "skipped": True}
+    spec = load_spec(root, spec_hash)
+    config = spec.tvla
+    netlist = spec.netlist()
+    ranges = spec.shard_ranges()
+    if not 0 <= shard_index < len(ranges):
+        raise CampaignError(
+            f"shard {shard_index} out of range for campaign "
+            f"{spec_hash[:12]}… with {len(ranges)} shard(s)")
+    start, stop = ranges[shard_index]
+    campaigns = campaign_schedule(netlist, config)
+    sliced = tuple((pair[0].slice(start, stop), pair[1].slice(start, stop))
+                   for pair in campaigns)
+    started = time.perf_counter()
+    partials = _shard_moments_rebuilt(netlist, sliced, config,
+                                      start // config.chunk_traces)
+    # Atomic all-or-nothing publish; duplicate deliveries racing here each
+    # use a private temp file and produce identical bytes.
+    _publish_atomically(shard_path, pack_shard_moments(partials))
+    return {"spec_hash": spec_hash, "shard": shard_index, "skipped": False,
+            "traces": stop - start, "seconds": time.perf_counter() - started}
+
+
+# ----------------------------------------------------------------------
+# Status / collection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress snapshot of one campaign."""
+
+    spec_hash: str
+    design_name: str
+    n_traces: int
+    n_shards_total: int
+    n_shards_done: int
+    complete: bool
+    failed_shards: Tuple[int, ...]
+
+    @property
+    def state(self) -> str:
+        if self.complete:
+            return "complete"
+        if self.failed_shards:
+            return "failed"
+        if self.n_shards_done == self.n_shards_total:
+            return "merging"
+        return "running"
+
+
+def campaign_status(root: Union[str, Path], spec_hash: str) -> CampaignStatus:
+    """Inspect one campaign's checkpoints, queue outcomes and store entry."""
+    root = Path(root)
+    spec = load_spec(root, spec_hash)
+    paths = CampaignPaths(root, spec_hash)
+    ranges = spec.shard_ranges()
+    done = [k for k in range(len(ranges)) if paths.shard_path(k).exists()]
+    queue = campaign_queue(root)
+    failed = []
+    for k in range(len(ranges)):
+        if k in done:
+            continue
+        outcome = queue.outcome_by_key(paths.shard_key(k))
+        if outcome is not None and outcome[0] == "failed":
+            failed.append(k)
+    return CampaignStatus(spec_hash=spec_hash, design_name=spec.design_name,
+                          n_traces=spec.tvla.n_traces,
+                          n_shards_total=len(ranges), n_shards_done=len(done),
+                          complete=campaign_store(root).has(spec_hash),
+                          failed_shards=tuple(failed))
+
+
+def list_campaigns(root: Union[str, Path]) -> List[CampaignStatus]:
+    """Status of every campaign submitted under ``root``."""
+    campaigns_dir = Path(root) / "campaigns"
+    if not campaigns_dir.exists():
+        return []
+    return [campaign_status(root, path.name)
+            for path in sorted(campaigns_dir.iterdir())
+            if (path / "spec.json").exists()]
+
+
+def _merge_shard_files(paths: CampaignPaths, spec: CampaignSpec,
+                       started_at: float) -> LeakageAssessment:
+    """Merge all shard checkpoints into the final assessment.
+
+    Delegates to :func:`repro.tvla.sharding.merge_shard_partials` — the
+    same merge (same shard-order association) the in-process driver uses,
+    so a resumed or distributed campaign is bit-identical to an
+    uninterrupted one with the same layout.
+    """
+    config = spec.tvla
+    ranges = spec.shard_ranges()
+    shard_results = [unpack_shard_moments(paths.shard_path(k).read_bytes())
+                     for k in range(len(ranges))]
+    class_results = merge_shard_partials(shard_results, config)
+    netlist = spec.netlist()
+    generator = resolve_generator(netlist, config, None)
+    return aggregate_class_results(class_results, spec.design_name,
+                                   generator.gate_names, config,
+                                   time.perf_counter() - started_at,
+                                   streamed=True, n_shards=len(ranges))
+
+
+def collect_result(root: Union[str, Path], spec_hash: str,
+                   timeout: Optional[float] = None,
+                   poll_interval: float = 0.1) -> LeakageAssessment:
+    """Wait for a campaign's shards, merge them, and store the result.
+
+    Serves straight from the store when the campaign already completed
+    (bit-identical to the original run).  Otherwise polls the checkpoint
+    directory until every shard partial exists, merges them in shard
+    order, publishes the assessment to the content-addressed store and
+    returns the stored copy.
+
+    Raises:
+        CampaignError: when a shard task exhausted its retries (the worker
+            traceback is included) — waiting longer cannot help.
+        TimeoutError: when ``timeout`` elapses first.
+    """
+    root = Path(root)
+    store = campaign_store(root)
+    cached = store.get(spec_hash)
+    if cached is not None:
+        return cached
+    spec = load_spec(root, spec_hash)
+    paths = CampaignPaths(root, spec_hash)
+    ranges = spec.shard_ranges()
+    queue = campaign_queue(root)
+    started_at = time.perf_counter()
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        missing = [k for k in range(len(ranges))
+                   if not paths.shard_path(k).exists()]
+        if not missing:
+            break
+        for shard_index in missing:
+            outcome = queue.outcome_by_key(paths.shard_key(shard_index))
+            if outcome is not None and outcome[0] == "failed":
+                raise CampaignError(
+                    f"shard {shard_index} of campaign {spec_hash[:12]}… "
+                    f"exhausted its retries:\n{outcome[2]}")
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutError(
+                f"campaign {spec_hash[:12]}… still missing shards "
+                f"{missing} after {timeout:.1f}s")
+        time.sleep(poll_interval)
+    assessment = _merge_shard_files(paths, spec, started_at)
+    store.put(spec_hash, assessment, metadata={
+        "design_name": spec.design_name,
+        "n_shards": len(ranges),
+        "n_traces": spec.tvla.n_traces,
+    })
+    # Return the stored copy: later cache hits are bit-identical to it by
+    # construction (the round-trip itself is lossless).
+    return store.get(spec_hash)
+
+
+def run_campaign(root: Union[str, Path], netlist: Netlist,
+                 config: Optional[TvlaConfig] = None, n_shards: int = 2,
+                 n_workers: int = 1,
+                 timeout: Optional[float] = None) -> LeakageAssessment:
+    """Submit + work + collect in one call (the single-host convenience).
+
+    Spins up ``n_workers`` in-process worker threads that drain the queue,
+    then merges and stores the result.  Cache hits skip the work entirely.
+    External ``polaris-campaign work`` processes attached to the same root
+    participate seamlessly (the inline workers drain the *shared* queue,
+    so they also help any sibling campaign under the same root).
+
+    ``timeout`` bounds the whole call: the worker threads are signalled to
+    stop at the deadline and the remaining budget is handed to
+    :func:`collect_result`, which raises :class:`TimeoutError` — the drain
+    phase can never block past the deadline on someone else's backlog.
+    """
+    from .queue import run_worker  # local import keeps module load cheap
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    outcome = submit_campaign(root, netlist=netlist, config=config,
+                              n_shards=n_shards)
+    if outcome.status != "cached":
+        queue = campaign_queue(root)
+        stop = threading.Event()
+        threads = [
+            threading.Thread(target=run_worker,
+                             kwargs=dict(queue=queue,
+                                         worker=f"run-campaign-{index}",
+                                         drain=True, stop_event=stop),
+                             daemon=True)
+            for index in range(max(1, n_workers))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            thread.join(timeout=remaining)
+        stop.set()  # past the deadline (or done): release any stragglers
+    remaining = (None if deadline is None
+                 else max(0.0, deadline - time.monotonic()))
+    return collect_result(root, outcome.spec_hash, timeout=remaining)

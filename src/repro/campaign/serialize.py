@@ -1,0 +1,148 @@
+"""Lossless (de)serialisation of campaign work products.
+
+Two wire formats live here:
+
+* **Shard partials** — a shard's :data:`~repro.tvla.sharding.ShardMoments`
+  (per fixed class, a ``(group0, group1)`` pair of
+  :class:`~repro.tvla.moments.OnePassMoments`) packed as length-prefixed
+  :meth:`OnePassMoments.to_bytes` blobs.  This is the unit the checkpoint
+  layer persists and the queue ships between workers; the round-trip is
+  bit-identical, so resumed/distributed merges equal in-process ones.
+* **Assessments** — a full :class:`~repro.tvla.assessment.LeakageAssessment`
+  as a JSON-able dict whose arrays are base64 of the raw little-endian
+  float64 buffers (never decimal text), so a result served from the
+  content-addressed store is bit-identical to the run that produced it.
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..tvla.assessment import LeakageAssessment
+from ..tvla.moments import OnePassMoments
+from ..tvla.sharding import ShardMoments
+
+#: Magic + version prefix of the packed shard-partial format.
+_SHARD_MAGIC = b"SHM1"
+
+
+# ----------------------------------------------------------------------
+# Shard partials
+# ----------------------------------------------------------------------
+def pack_shard_moments(partials: ShardMoments) -> bytes:
+    """Pack one shard's per-class accumulator pairs into a byte string."""
+    chunks = [_SHARD_MAGIC, struct.pack("<I", len(partials))]
+    for pair in partials:
+        for accumulator in pair:
+            blob = accumulator.to_bytes()
+            chunks.append(struct.pack("<I", len(blob)))
+            chunks.append(blob)
+    return b"".join(chunks)
+
+
+def unpack_shard_moments(payload: bytes) -> ShardMoments:
+    """Rebuild the :data:`ShardMoments` packed by :func:`pack_shard_moments`.
+
+    Raises:
+        ValueError: for truncated or foreign payloads.
+    """
+    if not payload.startswith(_SHARD_MAGIC):
+        raise ValueError("not a packed shard-moments payload")
+    offset = len(_SHARD_MAGIC)
+    if len(payload) < offset + 4:
+        raise ValueError("truncated shard-moments payload")
+    (n_classes,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    partials: List[Tuple[OnePassMoments, OnePassMoments]] = []
+    for _ in range(n_classes):
+        pair = []
+        for _ in range(2):
+            if offset + 4 > len(payload):
+                raise ValueError("truncated shard-moments payload")
+            (length,) = struct.unpack_from("<I", payload, offset)
+            offset += 4
+            blob = payload[offset:offset + length]
+            if len(blob) != length:
+                raise ValueError("truncated shard-moments payload")
+            pair.append(OnePassMoments.from_bytes(blob))
+            offset += length
+        partials.append((pair[0], pair[1]))
+    return partials
+
+
+# ----------------------------------------------------------------------
+# Assessments
+# ----------------------------------------------------------------------
+def encode_array(array: np.ndarray) -> Dict[str, object]:
+    """Encode an ndarray as ``{dtype, shape, data(base64)}`` losslessly."""
+    array = np.ascontiguousarray(array)
+    # Normalise to an explicit byte order so the blob decodes identically
+    # on any host; float64 stays float64 bit for bit.
+    dtype = array.dtype.newbyteorder("<")
+    array = array.astype(dtype, copy=False)
+    return {
+        "dtype": dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(data: Dict[str, object]) -> np.ndarray:
+    """Decode an array encoded by :func:`encode_array` (bit-identical)."""
+    raw = base64.b64decode(data["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(data["dtype"]))
+    array = array.reshape(tuple(data["shape"]))
+    # Copy into a native-order, writeable array matching in-memory results.
+    return array.astype(array.dtype.newbyteorder("="), copy=True)
+
+
+def _encode_optional(array: Optional[np.ndarray]) -> Optional[Dict[str, object]]:
+    return None if array is None else encode_array(array)
+
+
+def _decode_optional(data: Optional[Dict[str, object]]) -> Optional[np.ndarray]:
+    return None if data is None else decode_array(data)
+
+
+def assessment_to_dict(assessment: LeakageAssessment) -> Dict[str, object]:
+    """Serialise a :class:`LeakageAssessment` to a JSON-able dict."""
+    return {
+        "design_name": assessment.design_name,
+        "gate_names": list(assessment.gate_names),
+        "t_values": encode_array(assessment.t_values),
+        "degrees_of_freedom": encode_array(assessment.degrees_of_freedom),
+        "threshold": assessment.threshold,
+        "n_traces": assessment.n_traces,
+        "elapsed_seconds": assessment.elapsed_seconds,
+        "mean_abs_t": _encode_optional(assessment.mean_abs_t),
+        "streamed": assessment.streamed,
+        "tvla_order": assessment.tvla_order,
+        "order_t_values": {str(order): encode_array(values)
+                           for order, values in
+                           sorted(assessment.order_t_values.items())},
+        "n_shards": assessment.n_shards,
+    }
+
+
+def assessment_from_dict(data: Dict[str, object]) -> LeakageAssessment:
+    """Rebuild the :class:`LeakageAssessment` serialised by
+    :func:`assessment_to_dict`; every array round-trips bit-identically."""
+    return LeakageAssessment(
+        design_name=data["design_name"],
+        gate_names=tuple(data["gate_names"]),
+        t_values=decode_array(data["t_values"]),
+        degrees_of_freedom=decode_array(data["degrees_of_freedom"]),
+        threshold=data["threshold"],
+        n_traces=data["n_traces"],
+        elapsed_seconds=data["elapsed_seconds"],
+        mean_abs_t=_decode_optional(data.get("mean_abs_t")),
+        streamed=data["streamed"],
+        tvla_order=data["tvla_order"],
+        order_t_values={int(order): decode_array(values)
+                        for order, values in data["order_t_values"].items()},
+        n_shards=data["n_shards"],
+    )

@@ -1,0 +1,142 @@
+"""Content-addressed result store for TVLA campaign assessments.
+
+Results are keyed by the :attr:`CampaignSpec.content_hash` of the campaign
+that produced them and live as JSON objects under
+``<root>/objects/<hh>/<hash>.json`` (two-level fan-out, git-style).  The
+store is **write-once**: the first put of a hash wins and later puts are
+no-ops, so a cached campaign is always served exactly as the run that
+produced it — arrays round-trip through raw byte buffers
+(:mod:`repro.campaign.serialize`), making hits bit-identical, not merely
+close.  Writes go through a temp file + :func:`os.replace`, so concurrent
+workers and killed processes can never leave a torn object behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..tvla.assessment import LeakageAssessment
+from .serialize import assessment_from_dict, assessment_to_dict
+
+#: Store layout version, recorded in every object.
+STORE_FORMAT = 1
+
+
+def as_result_store(store: Union["ResultStore", str, Path]) -> "ResultStore":
+    """Coerce a store-or-path argument (the pipeline's ``store=`` seam)."""
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+class ResultStore:
+    """Content-addressed, write-once assessment store rooted at a directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+
+    # ------------------------------------------------------------------
+    def object_path(self, key: str) -> Path:
+        """On-disk path of the object stored under ``key``."""
+        self._validate_key(key)
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _validate_key(key: str) -> None:
+        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"not a content hash: {key!r}")
+
+    # ------------------------------------------------------------------
+    def has(self, key: str) -> bool:
+        """Whether a result is stored under ``key``."""
+        return self.object_path(key).exists()
+
+    def get(self, key: str) -> Optional[LeakageAssessment]:
+        """The assessment stored under ``key``, or None.
+
+        Raises:
+            ValueError: for corrupt objects (bad JSON or foreign format).
+        """
+        path = self.object_path(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt store object {path}: {exc}") from exc
+        if data.get("format") != STORE_FORMAT:
+            raise ValueError(
+                f"store object {path} has format {data.get('format')!r}; "
+                f"this build understands {STORE_FORMAT}")
+        return assessment_from_dict(data["assessment"])
+
+    def metadata(self, key: str) -> Optional[Dict[str, object]]:
+        """The metadata recorded alongside the assessment, or None."""
+        path = self.object_path(key)
+        if not path.exists():
+            return None
+        data = json.loads(path.read_text())
+        return data.get("metadata", {})
+
+    def put(self, key: str, assessment: LeakageAssessment,
+            metadata: Optional[Dict[str, object]] = None) -> bool:
+        """Store ``assessment`` under ``key`` unless already present.
+
+        Returns:
+            True when this call created the object; False when the key was
+            already stored (the existing object is left untouched — the
+            run that got there first defines the canonical result).
+        """
+        path = self.object_path(key)
+        if path.exists():
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({
+            "format": STORE_FORMAT,
+            "key": key,
+            "created_at": time.time(),
+            "metadata": metadata or {},
+            "assessment": assessment_to_dict(assessment),
+        }, sort_keys=True)
+        # Atomic create-exclusive publish: the object appears whole or not
+        # at all, and when two writers race on one key the *first* link
+        # wins — os.link refuses to overwrite, unlike os.replace — so the
+        # stored object really is the run that got there first.
+        handle, temp_path = tempfile.mkstemp(dir=path.parent,
+                                             prefix=f".{key[:8]}-",
+                                             suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(payload)
+            try:
+                os.link(temp_path, path)
+            except FileExistsError:
+                return False
+        finally:
+            try:
+                os.unlink(temp_path)
+            except FileNotFoundError:
+                pass
+        return True
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored content hashes."""
+        if not self.objects_dir.exists():
+            return
+        for bucket in sorted(self.objects_dir.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for path in sorted(bucket.glob("*.json")):
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

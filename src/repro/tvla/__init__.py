@@ -23,6 +23,7 @@ from .sharding import (
     EXECUTORS,
     assess_leakage_sharded,
     assess_many,
+    merge_shard_partials,
     shard_trace_ranges,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "EXECUTORS",
     "assess_leakage_sharded",
     "assess_many",
+    "merge_shard_partials",
     "shard_trace_ranges",
 ]

@@ -21,12 +21,20 @@ which is what lets sharded campaigns combine partial acquisitions.
 
 from __future__ import annotations
 
+import json
+import struct
 from math import comb
 from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[float, np.ndarray]
+
+#: Magic + version prefix of the :meth:`OnePassMoments.to_bytes` wire format.
+_WIRE_MAGIC = b"OPM1"
+#: On-the-wire array dtype: explicit little-endian float64, so blobs written
+#: on any host deserialise bit-identically everywhere.
+_WIRE_DTYPE = "<f8"
 
 
 class OnePassMoments:
@@ -77,6 +85,11 @@ class OnePassMoments:
         pairwise (Chan et al. / Pébay) formulas — one accumulator update per
         batch instead of one Python-level Welford step per sample, which is
         what makes chunked streaming TVLA practical at paper scale.
+
+        Accumulators configured for ``max_order == 2`` (first-order TVLA
+        campaigns) never build odd-order central sums: the batch reduction
+        stops at the squared deviations and the merge dispatches to the
+        specialised :meth:`_combine_order2` Chan update.
         """
         samples = np.asarray(samples, dtype=float)
         if samples.ndim < 1 or samples.shape[1:] != self.shape:
@@ -119,6 +132,23 @@ class OnePassMoments:
             self._mean = np.array(mean_b, dtype=float)
             self._sums = [np.array(s, dtype=float) for s in sums_b]
             return
+        if self.max_order == 2:
+            # Specialised order-2 path (the order-1 TVLA hot path, and the
+            # bulk of every cognition campaign): no odd-order central sums
+            # exist, so the general Pébay machinery (per-order list builds,
+            # binomial coefficients, power chains) collapses to the classic
+            # Chan et al. variance merge.  The arithmetic mirrors
+            # :meth:`_combine_general` at p = 2 operation for operation, so
+            # both paths are bit-identical (pinned by
+            # tests/test_campaign.py).
+            self._combine_order2(n_a, n_b, n, mean_b, sums_b[0])
+            return
+        self._combine_general(n_a, n_b, n, mean_b, sums_b)
+
+    def _combine_general(self, n_a: int, n_b: int, n: int,
+                         mean_b: np.ndarray,
+                         sums_b: Sequence[np.ndarray]) -> None:
+        """Arbitrary-order Pébay merge (the general path of :meth:`_combine`)."""
         delta = mean_b - self._mean
         sums_a = self._sums
         step_a = -n_b * delta / n
@@ -136,6 +166,26 @@ class OnePassMoments:
                                           - (-1.0 / n_a) ** (p - 1))
             new_sums.append(value)
         self._sums = new_sums
+        self._mean = self._mean + delta * (n_b / n)
+        self.count = n
+
+    def _combine_order2(self, n_a: int, n_b: int, n: int,
+                        mean_b: np.ndarray, m2_b: np.ndarray) -> None:
+        """Order-2-only merge: the Chan et al. update, nothing else.
+
+        Closes the ROADMAP follow-up on skipping odd-order central sums:
+        the *exact* pairwise merge of an order-``p`` central sum needs the
+        order-``p - 1`` (odd) sums of both parts, so accumulators tracking
+        order 4 or 6 cannot soundly drop their odd orders — but the
+        campaigns that only need order 2 (first-order TVLA, i.e. the
+        default everywhere) never allocate or touch them at all on this
+        path.  Expressions match the general loop at ``p = 2`` exactly
+        (``cross ** 2 * (1/n_b - (-1/n_a))``) so results are bit-identical.
+        """
+        delta = mean_b - self._mean
+        cross = n_a * n_b * delta / n
+        self._sums[0] = (self._sums[0] + m2_b
+                         + cross ** 2 * (1.0 / n_b - (-1.0 / n_a)))
         self._mean = self._mean + delta * (n_b / n)
         self.count = n
 
@@ -203,3 +253,69 @@ class OnePassMoments:
         merged._sums = [s.copy() for s in self._sums]
         merged._combine(other.count, other._mean, other._sums)
         return merged
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise the accumulator to a compact, lossless byte string.
+
+        The format is ``b"OPM1"`` + a length-prefixed JSON header
+        ``{max_order, shape, count}`` + the mean and every central sum as
+        raw little-endian float64 buffers.  Raw buffers (not decimal text)
+        make the round-trip bit-identical, which is what lets
+        :mod:`repro.campaign` checkpoint shard partials to disk, ship them
+        between worker processes and still merge them losslessly.
+        """
+        header = json.dumps({
+            "max_order": self.max_order,
+            "shape": list(self.shape),
+            "count": self.count,
+        }).encode("ascii")
+        chunks = [_WIRE_MAGIC, struct.pack("<I", len(header)), header,
+                  np.ascontiguousarray(self._mean, dtype=_WIRE_DTYPE).tobytes()]
+        chunks.extend(np.ascontiguousarray(s, dtype=_WIRE_DTYPE).tobytes()
+                      for s in self._sums)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "OnePassMoments":
+        """Rebuild an accumulator serialised by :meth:`to_bytes`.
+
+        Raises:
+            ValueError: for truncated, corrupt or foreign payloads.
+        """
+        if len(payload) < len(_WIRE_MAGIC) + 4 or \
+                not payload.startswith(_WIRE_MAGIC):
+            raise ValueError("not an OnePassMoments payload")
+        offset = len(_WIRE_MAGIC)
+        (header_len,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        try:
+            header = json.loads(payload[offset:offset + header_len])
+            max_order = header["max_order"]
+            shape = tuple(header["shape"])
+            count = header["count"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ValueError(f"corrupt OnePassMoments header: {exc}") from exc
+        offset += header_len
+        acc = cls(max_order=max_order, shape=shape)
+        n_arrays = 1 + len(acc._sums)
+        n_values = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        expected = offset + n_arrays * n_values * 8
+        if len(payload) != expected:
+            raise ValueError(
+                f"truncated OnePassMoments payload: expected {expected} "
+                f"bytes, got {len(payload)}")
+
+        def read_array() -> np.ndarray:
+            nonlocal offset
+            flat = np.frombuffer(payload, dtype=_WIRE_DTYPE, count=n_values,
+                                 offset=offset)
+            offset += n_values * 8
+            # Copy out of the read-only buffer view and drop the explicit
+            # byte order: in-memory accumulators use the native dtype.
+            return flat.astype(float, copy=True).reshape(shape)
+
+        acc.count = int(count)
+        acc._mean = read_array()
+        acc._sums = [read_array() for _ in acc._sums]
+        return acc

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from contextlib import nullcontext
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -56,6 +56,7 @@ from .assessment import (
     validate_campaigns,
 )
 from .moments import OnePassMoments
+from .welch import WelchResult
 
 #: Executor selectors accepted by the sharded drivers.
 EXECUTORS = ("serial", "thread", "process")
@@ -160,10 +161,16 @@ def _make_executor(executor: ExecutorLike,
 
     ``pool`` is ``None`` for the serial driver.  ``ship_netlist`` selects
     the process entry point (workers rebuild their own generator from the
-    pickled netlist) instead of sharing the parent's generator.
+    pickled netlist) instead of sharing the parent's generator.  Besides
+    :class:`~concurrent.futures.ProcessPoolExecutor`, any executor
+    instance exposing a truthy ``cross_process`` attribute (e.g.
+    :class:`repro.campaign.queue.QueueExecutor`, whose tasks may be picked
+    up by workers on other machines) gets the shipped entry point too.
     """
     if isinstance(executor, Executor):
-        return executor, isinstance(executor, ProcessPoolExecutor), False
+        ship_netlist = (isinstance(executor, ProcessPoolExecutor)
+                        or bool(getattr(executor, "cross_process", False)))
+        return executor, ship_netlist, False
     if executor == "serial":
         return None, False, False
     if executor == "thread":
@@ -179,6 +186,28 @@ def _make_executor(executor: ExecutorLike,
     raise ValueError(
         f"executor must be one of {EXECUTORS} or an Executor instance, "
         f"got {executor!r}")
+
+
+@contextmanager
+def _pool_lifecycle(pool: Optional[Executor], owned: bool):
+    """Guarantee owned pools are torn down, even when a shard worker raises.
+
+    On the failure path the pool is shut down with ``cancel_futures=True``
+    first: a raising shard must not leave the remaining shards burning CPU
+    (or, for process pools, leak live worker processes) while the caller
+    unwinds — the campaign's pending futures are cancelled and only the
+    already-running tasks are drained.  Caller-supplied executors are never
+    shut down; their lifecycle belongs to the caller.
+    """
+    try:
+        yield
+    except BaseException:
+        if owned and pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        if owned and pool is not None:
+            pool.shutdown(wait=True)
 
 
 def _submit_design(netlist: Netlist, config: TvlaConfig, n_shards: int,
@@ -227,23 +256,35 @@ def _submit_design(netlist: Netlist, config: TvlaConfig, n_shards: int,
                           futures=futures)
 
 
-def _collect_design(design: _ShardedDesign) -> LeakageAssessment:
-    """Merge one design's shard results into the final assessment."""
-    config = design.config
-    shard_results = [future.result() for future in design.futures]
+def merge_shard_partials(shard_results: Sequence[ShardMoments],
+                         config: TvlaConfig) -> List[Dict[int, WelchResult]]:
+    """Merge per-shard accumulator sets into per-class Welch results.
+
+    The single definition of the campaign merge, shared by the in-process
+    driver and the durable runner (:mod:`repro.campaign.runner`): partials
+    merge **in shard order** — deterministic association, so reruns,
+    resumed campaigns and store-cached results with the same shard layout
+    are all bit-identical.
+    """
     n_classes = len(shard_results[0])
     class_results = []
     for class_index in range(n_classes):
         merged0: Optional[OnePassMoments] = None
         merged1: Optional[OnePassMoments] = None
-        # Merge in shard order: deterministic association, so reruns with
-        # the same shard count are bit-identical.
         for partials in shard_results:
             acc0, acc1 = partials[class_index]
             merged0 = acc0 if merged0 is None else merged0.merge(acc0)
             merged1 = acc1 if merged1 is None else merged1.merge(acc1)
         class_results.append(results_from_accumulators(merged0, merged1,
                                                        config))
+    return class_results
+
+
+def _collect_design(design: _ShardedDesign) -> LeakageAssessment:
+    """Merge one design's shard results into the final assessment."""
+    config = design.config
+    shard_results = [future.result() for future in design.futures]
+    class_results = merge_shard_partials(shard_results, config)
     elapsed = time.perf_counter() - design.started_at
     return aggregate_class_results(class_results, design.netlist.name,
                                    design.gate_names, config, elapsed,
@@ -290,7 +331,7 @@ def assess_leakage_sharded(
     """
     config = config if config is not None else TvlaConfig()
     pool, ship_netlist, owned = _make_executor(executor, max_workers)
-    with (pool if owned else nullcontext()):
+    with _pool_lifecycle(pool, owned):
         design = _submit_design(netlist, config, n_shards, pool, ship_netlist,
                                 generator, campaigns)
         return _collect_design(design)
@@ -302,6 +343,7 @@ def assess_many(
     n_shards: int = 1,
     executor: ExecutorLike = "thread",
     max_workers: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> Dict[str, LeakageAssessment]:
     """Assess several designs in one sharded campaign fan-out.
 
@@ -315,8 +357,16 @@ def assess_many(
         config: Shared campaign configuration.
         n_shards: Trace shards per design.
         executor: ``"serial"``, ``"thread"``, ``"process"`` or an existing
-            :class:`~concurrent.futures.Executor` instance.
+            :class:`~concurrent.futures.Executor` instance (including
+            :class:`repro.campaign.queue.QueueExecutor` for cross-process
+            workers).
         max_workers: Worker count for the string selectors.
+        store: Optional :class:`repro.campaign.store.ResultStore` (or its
+            root path).  Designs whose
+            :class:`~repro.campaign.spec.CampaignSpec` content hash is
+            already stored are served from the cache **bit-identically**
+            without simulating a single trace; fresh results are stored on
+            the way out.
 
     Returns:
         Mapping design name -> :class:`LeakageAssessment`, in input order.
@@ -328,12 +378,37 @@ def assess_many(
     names = [netlist.name for netlist in netlists]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate design names in assess_many: {names}")
+    hashes: Dict[str, str] = {}
+    cached: Dict[str, LeakageAssessment] = {}
+    to_run = list(netlists)
+    if store is not None:
+        # Function-level import: repro.campaign sits on top of this module,
+        # so the dependency must stay call-time only.
+        from ..campaign.spec import CampaignSpec
+        from ..campaign.store import as_result_store
+        store = as_result_store(store)
+        to_run = []
+        for netlist in netlists:
+            spec = CampaignSpec.from_netlist(netlist, config,
+                                             n_shards=n_shards,
+                                             force_streaming=True)
+            hashes[netlist.name] = spec.content_hash
+            hit = store.get(spec.content_hash)
+            if hit is not None:
+                cached[netlist.name] = hit
+            else:
+                to_run.append(netlist)
     pool, ship_netlist, owned = _make_executor(executor, max_workers)
-    with (pool if owned else nullcontext()):
+    with _pool_lifecycle(pool, owned):
         submitted = [
             _submit_design(netlist, config, n_shards, pool, ship_netlist,
                            generator=None, campaigns=None)
-            for netlist in netlists
+            for netlist in to_run
         ]
-        return {design.netlist.name: _collect_design(design)
-                for design in submitted}
+        fresh = {design.netlist.name: _collect_design(design)
+                 for design in submitted}
+    if store is not None:
+        for name, assessment in fresh.items():
+            store.put(hashes[name], assessment)
+    return {name: cached[name] if name in cached else fresh[name]
+            for name in names}

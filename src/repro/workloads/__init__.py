@@ -3,6 +3,8 @@
 from .suites import (
     WorkloadConfig,
     evaluation_designs,
+    submit_suite,
+    suite_campaign_specs,
     suite_summary,
     training_designs,
 )
@@ -10,6 +12,8 @@ from .suites import (
 __all__ = [
     "WorkloadConfig",
     "evaluation_designs",
+    "submit_suite",
+    "suite_campaign_specs",
     "suite_summary",
     "training_designs",
 ]

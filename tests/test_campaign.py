@@ -1,0 +1,857 @@
+"""Tests for the distributed campaign subsystem (`repro.campaign`).
+
+The contracts pinned here are what make campaigns trustworthy:
+
+* accumulator and assessment serialisation round-trips are **bit-identical**
+  (not merely close) — the foundation of the content-addressed store;
+* the queue's lease/ack/retry semantics survive dead workers, duplicate
+  deliveries and poisoned tasks;
+* `QueueExecutor` satisfies the existing `ExecutorLike` seam, so the
+  sharded drivers gain cross-process workers with zero API change;
+* a resumed / fault-injected campaign converges to the serial t-values
+  (~1e-12), and cache hits are served bit-identically without simulating;
+* the order-2 `OnePassMoments` fast path equals the general Pébay path
+  bit for bit (ROADMAP follow-up).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignPaths,
+    CampaignSpec,
+    QueueExecutor,
+    ResultStore,
+    TaskFailedError,
+    TaskQueue,
+    assessment_from_dict,
+    assessment_to_dict,
+    campaign_queue,
+    campaign_status,
+    collect_result,
+    list_campaigns,
+    pack_shard_moments,
+    run_campaign,
+    run_worker,
+    submit_campaign,
+    unpack_shard_moments,
+)
+from repro.campaign.cli import main as cli_main
+from repro.campaign.store import as_result_store
+from repro.tvla import (
+    OnePassMoments,
+    TvlaConfig,
+    assess_leakage,
+    assess_leakage_sharded,
+    assess_many,
+)
+
+#: Campaign settings shared by the runner tests: 240 traces in 48-trace
+#: chunks -> 5 chunks, so 3 shards give a 2/2/1 split.
+CAMPAIGN_TVLA = dict(n_traces=240, n_fixed_classes=2, seed=7,
+                     chunk_traces=48, streaming=True)
+
+
+@pytest.fixture
+def campaign_config() -> TvlaConfig:
+    return TvlaConfig(**CAMPAIGN_TVLA)
+
+
+@pytest.fixture
+def campaign_root(tmp_path):
+    return tmp_path / "runs"
+
+
+def _assert_assessments_equal(left, right):
+    """Bitwise equality of every array/field that defines a verdict."""
+    assert left.design_name == right.design_name
+    assert left.gate_names == right.gate_names
+    assert np.array_equal(left.t_values, right.t_values)
+    assert np.array_equal(left.degrees_of_freedom, right.degrees_of_freedom)
+    assert np.array_equal(left.mean_abs_t, right.mean_abs_t)
+    assert left.n_traces == right.n_traces
+    assert left.n_shards == right.n_shards
+    assert sorted(left.order_t_values) == sorted(right.order_t_values)
+    for order, values in left.order_t_values.items():
+        assert np.array_equal(values, right.order_t_values[order])
+
+
+# ----------------------------------------------------------------------
+# OnePassMoments wire format + order-2 specialisation
+# ----------------------------------------------------------------------
+class TestMomentsSerialisation:
+    @pytest.mark.parametrize("max_order", [2, 4, 6])
+    def test_round_trip_bit_identical(self, rng, max_order):
+        acc = OnePassMoments(max_order=max_order, shape=(9,))
+        for _ in range(4):
+            acc.update_batch(rng.normal(size=(33, 9)))
+        clone = OnePassMoments.from_bytes(acc.to_bytes())
+        assert clone.count == acc.count
+        assert clone.max_order == acc.max_order
+        assert clone.shape == acc.shape
+        assert np.array_equal(clone.mean, acc.mean)
+        for order in range(2, max_order + 1):
+            assert np.array_equal(clone.central_moment(order),
+                                  acc.central_moment(order))
+
+    def test_round_tripped_accumulator_merges_identically(self, rng):
+        left = OnePassMoments(max_order=4, shape=(5,))
+        right = OnePassMoments(max_order=4, shape=(5,))
+        left.update_batch(rng.normal(size=(40, 5)))
+        right.update_batch(rng.normal(size=(25, 5)))
+        direct = left.merge(right)
+        revived = (OnePassMoments.from_bytes(left.to_bytes())
+                   .merge(OnePassMoments.from_bytes(right.to_bytes())))
+        assert np.array_equal(direct.mean, revived.mean)
+        for order in (2, 3, 4):
+            assert np.array_equal(direct.central_moment(order),
+                                  revived.central_moment(order))
+
+    def test_empty_accumulator_round_trips(self):
+        acc = OnePassMoments(max_order=2, shape=(3,))
+        clone = OnePassMoments.from_bytes(acc.to_bytes())
+        assert clone.count == 0
+        assert np.array_equal(clone.mean, np.zeros(3))
+
+    def test_scalar_shape_round_trips(self, rng):
+        acc = OnePassMoments(max_order=2, shape=())
+        acc.update_batch(rng.normal(size=17))
+        clone = OnePassMoments.from_bytes(acc.to_bytes())
+        assert np.array_equal(clone.mean, acc.mean)
+        assert np.array_equal(clone.variance, acc.variance)
+
+    def test_corrupt_payloads_rejected(self, rng):
+        acc = OnePassMoments(max_order=2, shape=(4,))
+        acc.update_batch(rng.normal(size=(10, 4)))
+        blob = acc.to_bytes()
+        with pytest.raises(ValueError, match="payload"):
+            OnePassMoments.from_bytes(b"nope" + blob[4:])
+        with pytest.raises(ValueError, match="truncated"):
+            OnePassMoments.from_bytes(blob[:-8])
+
+    def test_shard_moments_pack_round_trip(self, rng):
+        partials = []
+        for _ in range(3):  # 3 fixed classes
+            pair = []
+            for _ in range(2):
+                acc = OnePassMoments(max_order=4, shape=(6,))
+                acc.update_batch(rng.normal(size=(20, 6)))
+                pair.append(acc)
+            partials.append((pair[0], pair[1]))
+        revived = unpack_shard_moments(pack_shard_moments(partials))
+        assert len(revived) == 3
+        for (acc0, acc1), (rev0, rev1) in zip(partials, revived):
+            assert np.array_equal(acc0.central_moment(4),
+                                  rev0.central_moment(4))
+            assert np.array_equal(acc1.mean, rev1.mean)
+
+    def test_packed_shard_garbage_rejected(self):
+        with pytest.raises(ValueError, match="shard-moments"):
+            unpack_shard_moments(b"garbage")
+
+
+class TestOrderTwoFastPath:
+    def test_bit_identical_to_general_path(self, rng):
+        """ROADMAP follow-up pin: the specialised max_order == 2 combine
+        (no odd-order machinery) equals the general Pébay path exactly —
+        same stream of batch and single-sample updates, bitwise-equal
+        state throughout, bitwise-equal merges."""
+        fast = OnePassMoments(max_order=2, shape=(11,))
+        general = OnePassMoments(max_order=2, shape=(11,))
+        # Shadow the dispatching method so every combine of `general`
+        # walks the arbitrary-order code path instead.
+        general._combine_order2 = (
+            lambda n_a, n_b, n, mean_b, m2_b:
+            general._combine_general(n_a, n_b, n, mean_b, [m2_b]))
+        for size in (1, 7, 64, 129):
+            batch = rng.normal(size=(size, 11))
+            fast.update_batch(batch)
+            general.update_batch(batch)
+        single = rng.normal(size=11)
+        fast.update(single)
+        general.update(single)
+        assert fast.count == general.count
+        assert np.array_equal(fast.mean, general.mean)
+        assert np.array_equal(fast.central_moment(2),
+                              general.central_moment(2))
+        merged_fast = fast.merge(fast)
+        merged_general = general.merge(general)
+        assert np.array_equal(merged_fast.central_moment(2),
+                              merged_general.central_moment(2))
+
+    def test_higher_orders_still_track_odd_sums(self, rng):
+        # Exactness guard: order-4/6 accumulators must keep their odd
+        # central sums (the pairwise merge needs them), so the skip is
+        # strictly limited to max_order == 2.
+        acc = OnePassMoments(max_order=4, shape=(3,))
+        acc.update_batch(rng.normal(size=(50, 3)))
+        assert len(acc._sums) == 3  # orders 2, 3, 4
+        assert np.abs(acc.central_moment(3)).max() > 0
+
+
+# ----------------------------------------------------------------------
+# CampaignSpec hashing
+# ----------------------------------------------------------------------
+class TestCampaignSpec:
+    def test_hash_is_stable_and_reproducible(self, small_benchmark,
+                                             campaign_config):
+        first = CampaignSpec.from_netlist(small_benchmark, campaign_config, 3)
+        second = CampaignSpec.from_netlist(small_benchmark, campaign_config, 3)
+        assert first.content_hash == second.content_hash
+        assert len(first.content_hash) == 64
+
+    def test_hash_covers_every_axis(self, small_benchmark, tiny_netlist,
+                                    campaign_config):
+        import dataclasses
+        base = CampaignSpec.from_netlist(small_benchmark, campaign_config, 2)
+        variants = [
+            CampaignSpec.from_netlist(tiny_netlist, campaign_config, 2),
+            CampaignSpec.from_netlist(
+                small_benchmark,
+                dataclasses.replace(campaign_config, seed=8), 2),
+            CampaignSpec.from_netlist(
+                small_benchmark,
+                dataclasses.replace(campaign_config, n_traces=192), 2),
+            CampaignSpec.from_netlist(small_benchmark, campaign_config, 5),
+        ]
+        hashes = {spec.content_hash for spec in variants}
+        assert base.content_hash not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_shard_count_normalised_to_chunk_cap(self, small_benchmark,
+                                                 campaign_config):
+        # 240 traces / 48-trace chunks = 5 chunks: requesting 8 shards is
+        # the same campaign as requesting 5.
+        capped = CampaignSpec.from_netlist(small_benchmark, campaign_config, 8)
+        exact = CampaignSpec.from_netlist(small_benchmark, campaign_config, 5)
+        assert capped.n_shards == 5
+        assert capped.content_hash == exact.content_hash
+
+    def test_streaming_resolved_into_hash(self, small_benchmark):
+        # A serial two-pass run and a streamed run must never share a
+        # cache entry: their t-values differ at the ~1e-12 level.
+        auto = TvlaConfig(n_traces=100, n_fixed_classes=1, chunk_traces=2048)
+        two_pass = CampaignSpec.from_netlist(small_benchmark, auto, 1)
+        streamed = CampaignSpec.from_netlist(small_benchmark, auto, 1,
+                                             force_streaming=True)
+        assert two_pass.tvla.streaming is False
+        assert streamed.tvla.streaming is True
+        assert two_pass.content_hash != streamed.content_hash
+
+    def test_json_round_trip(self, small_benchmark, campaign_config):
+        spec = CampaignSpec.from_netlist(small_benchmark, campaign_config, 3)
+        revived = CampaignSpec.from_json(spec.to_json())
+        assert revived == spec
+        assert revived.content_hash == spec.content_hash
+
+    def test_tampered_spec_rejected(self, small_benchmark, campaign_config):
+        spec = CampaignSpec.from_netlist(small_benchmark, campaign_config, 3)
+        data = json.loads(spec.to_json())
+        data["n_shards"] = 4  # stored hash no longer matches
+        with pytest.raises(ValueError, match="hash mismatch"):
+            CampaignSpec.from_json(json.dumps(data))
+
+    def test_netlist_round_trip_is_assessable(self, small_benchmark,
+                                              campaign_config):
+        spec = CampaignSpec.from_netlist(small_benchmark, campaign_config, 2)
+        rebuilt = spec.netlist()
+        assert rebuilt.name == small_benchmark.name
+        assert tuple(rebuilt.primary_inputs) == \
+            tuple(small_benchmark.primary_inputs)
+        assert len(rebuilt) == len(small_benchmark)
+
+
+# ----------------------------------------------------------------------
+# Task queue semantics
+# ----------------------------------------------------------------------
+class TestTaskQueue:
+    def test_put_claim_ack(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        put = queue.put(b"payload")
+        assert put.action == "inserted"
+        task = queue.claim(worker="w1")
+        assert task.task_id == put.task_id
+        assert task.payload == b"payload"
+        assert not task.redelivered
+        assert queue.ack(task.task_id, task.lease_token, b"result")
+        assert queue.outcome(put.task_id) == ("done", b"result", None)
+        assert queue.claim() is None
+
+    def test_keyed_put_is_idempotent(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        first = queue.put(b"a", key="k")
+        second = queue.put(b"b", key="k")
+        assert first.task_id == second.task_id
+        assert (first.action, second.action) == ("inserted", "existing")
+        assert queue.counts()["pending"] == 1
+
+    def test_keyed_put_requeues_failed_tasks(self, tmp_path):
+        # Resubmission must be able to recover a shard that exhausted its
+        # retries on a transient cause: a keyed put of a failed task
+        # resets it to pending with a fresh attempt budget.
+        queue = TaskQueue(tmp_path / "q.sqlite", default_max_attempts=1)
+        put = queue.put(b"work", key="k")
+        task = queue.claim()
+        assert queue.fail(task.task_id, task.lease_token, "boom") == "failed"
+        requeued = queue.put(b"work", key="k")
+        assert requeued.task_id == put.task_id
+        assert requeued.action == "requeued"
+        retry = queue.claim()
+        assert retry is not None and retry.attempts == 1
+        assert queue.ack(retry.task_id, retry.lease_token, b"ok")
+        assert queue.outcome(put.task_id)[0] == "done"
+
+    def test_expired_lease_is_redelivered(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        queue.put(b"work")
+        dead = queue.claim(worker="dead", lease_seconds=0.01)
+        time.sleep(0.05)
+        alive = queue.claim(worker="alive")
+        assert alive is not None
+        assert alive.task_id == dead.task_id
+        assert alive.redelivered
+        assert alive.attempts == 2
+
+    def test_ack_after_redelivery_first_wins(self, tmp_path):
+        # Duplicate delivery: the slow worker's stale token must be a
+        # no-op once the task was redelivered and completed elsewhere.
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        task_id = queue.put(b"work").task_id
+        slow = queue.claim(worker="slow", lease_seconds=0.01)
+        time.sleep(0.05)
+        fast = queue.claim(worker="fast")
+        assert queue.ack(fast.task_id, fast.lease_token, b"fast-result")
+        assert not queue.ack(slow.task_id, slow.lease_token, b"slow-result")
+        assert queue.outcome(task_id) == ("done", b"fast-result", None)
+
+    def test_fail_retries_until_budget_exhausted(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite", default_max_attempts=2)
+        task_id = queue.put(b"poison").task_id
+        first = queue.claim()
+        assert queue.fail(first.task_id, first.lease_token, "boom 1") == \
+            "retried"
+        second = queue.claim()
+        assert second.attempts == 2
+        assert queue.fail(second.task_id, second.lease_token, "boom 2") == \
+            "failed"
+        status, _, error = queue.outcome(task_id)
+        assert status == "failed"
+        assert "boom 2" in error
+        assert queue.claim() is None
+
+    def test_expired_final_attempt_is_retired(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite", default_max_attempts=1)
+        task_id = queue.put(b"work").task_id
+        queue.claim(lease_seconds=0.01)
+        time.sleep(0.05)
+        assert queue.claim() is None  # not handed out again...
+        assert queue.outcome(task_id)[0] == "failed"  # ...but retired
+
+    def test_stale_fail_is_ignored(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        queue.put(b"work")
+        slow = queue.claim(lease_seconds=0.01)
+        time.sleep(0.05)
+        fast = queue.claim()
+        assert queue.fail(slow.task_id, slow.lease_token, "late") == "stale"
+        assert queue.ack(fast.task_id, fast.lease_token, b"ok")
+
+    def test_invalid_configuration_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TaskQueue(tmp_path / "q.sqlite", default_lease_seconds=0)
+        with pytest.raises(ValueError):
+            TaskQueue(tmp_path / "q.sqlite", default_max_attempts=0)
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        with pytest.raises(ValueError):
+            queue.put(b"x", max_attempts=0)
+        with pytest.raises(KeyError):
+            queue.outcome(12345)
+
+    def test_run_worker_drain(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        for value in range(3):
+            queue.put(pickle.dumps((_double, (value,), {})))
+        executed = run_worker(queue, drain=True)
+        assert executed == 3
+        assert queue.outstanding() == 0
+
+
+def _double(value):
+    """Module-level task body (queue payloads must be picklable)."""
+    return 2 * value
+
+
+def _explode():
+    """Module-level task body that always fails."""
+    raise RuntimeError("intentional failure")
+
+
+# ----------------------------------------------------------------------
+# QueueExecutor through the unchanged sharding API
+# ----------------------------------------------------------------------
+class TestQueueExecutor:
+    def test_futures_resolve(self, tmp_path):
+        with QueueExecutor(tmp_path / "q.sqlite", n_workers=1) as pool:
+            futures = [pool.submit(_double, value) for value in range(5)]
+            assert [f.result(timeout=30) for f in futures] == \
+                [0, 2, 4, 6, 8]
+
+    def test_failures_propagate_as_exceptions(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite", default_max_attempts=1)
+        with QueueExecutor(queue, n_workers=1) as pool:
+            future = pool.submit(_explode)
+            with pytest.raises(TaskFailedError, match="intentional failure"):
+                future.result(timeout=30)
+
+    def test_submit_after_shutdown_rejected(self, tmp_path):
+        pool = QueueExecutor(tmp_path / "q.sqlite", n_workers=1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut-down"):
+            pool.submit(_double, 1)
+
+    def test_sharded_assessment_via_queue(self, small_benchmark,
+                                          campaign_config, tmp_path):
+        # The tentpole seam: zero API change — a queue-backed executor
+        # drops into assess_leakage_sharded and matches serial ~1e-12.
+        reference = assess_leakage(small_benchmark, campaign_config)
+        with QueueExecutor(tmp_path / "q.sqlite", n_workers=2) as pool:
+            sharded = assess_leakage_sharded(small_benchmark,
+                                             campaign_config,
+                                             n_shards=3, executor=pool)
+        np.testing.assert_allclose(sharded.t_values, reference.t_values,
+                                   rtol=1e-12, atol=1e-12)
+        assert sharded.n_shards == 3
+
+    def test_assess_many_via_queue(self, small_benchmark, tiny_netlist,
+                                   campaign_config, tmp_path):
+        with QueueExecutor(tmp_path / "q.sqlite", n_workers=2) as pool:
+            results = assess_many([small_benchmark, tiny_netlist],
+                                  campaign_config, n_shards=2, executor=pool)
+        for netlist in (small_benchmark, tiny_netlist):
+            serial = assess_leakage_sharded(netlist, campaign_config,
+                                            n_shards=2, executor="serial")
+            assert np.array_equal(results[netlist.name].t_values,
+                                  serial.t_values)
+
+
+class TestExecutorLifecycle:
+    def test_owned_pool_shut_down_when_worker_raises(self, small_benchmark,
+                                                     campaign_config,
+                                                     monkeypatch):
+        # Satellite pin: a raising shard must not leak an owned pool (nor
+        # leave its siblings running) — shutdown(cancel_futures) happens
+        # on the failure path.
+        from concurrent.futures import ThreadPoolExecutor
+        from repro.tvla import sharding
+
+        created = []
+
+        class RecordingPool(ThreadPoolExecutor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+                self.cancelled_on_failure = False
+
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                if cancel_futures:
+                    self.cancelled_on_failure = True
+                super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        def poisoned(*args, **kwargs):
+            raise RuntimeError("shard worker exploded")
+
+        monkeypatch.setattr(sharding, "ThreadPoolExecutor", RecordingPool)
+        monkeypatch.setattr(sharding, "_shard_moments", poisoned)
+        with pytest.raises(RuntimeError, match="shard worker exploded"):
+            assess_leakage_sharded(small_benchmark, campaign_config,
+                                   n_shards=3, executor="thread")
+        assert len(created) == 1
+        assert created[0]._shutdown
+        assert created[0].cancelled_on_failure
+
+    def test_caller_supplied_pool_left_running(self, small_benchmark,
+                                               campaign_config, monkeypatch):
+        from concurrent.futures import ThreadPoolExecutor
+        from repro.tvla import sharding
+
+        def poisoned(*args, **kwargs):
+            raise RuntimeError("shard worker exploded")
+
+        monkeypatch.setattr(sharding, "_shard_moments", poisoned)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with pytest.raises(RuntimeError, match="exploded"):
+                assess_leakage_sharded(small_benchmark, campaign_config,
+                                       n_shards=2, executor=pool)
+            assert not pool._shutdown  # caller owns its lifecycle
+
+
+# ----------------------------------------------------------------------
+# Campaign runner: submit / work / resume / collect
+# ----------------------------------------------------------------------
+class TestCampaignRunner:
+    def test_distributed_campaign_matches_serial(self, small_benchmark,
+                                                 campaign_config,
+                                                 campaign_root):
+        reference = assess_leakage(small_benchmark, campaign_config)
+        result = run_campaign(campaign_root, small_benchmark,
+                              campaign_config, n_shards=3, n_workers=2)
+        np.testing.assert_allclose(result.t_values, reference.t_values,
+                                   rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(result.mean_abs_t, reference.mean_abs_t,
+                                   rtol=1e-12, atol=1e-12)
+        assert result.n_shards == 3
+
+    def test_higher_order_campaign(self, tiny_netlist, campaign_root):
+        config = TvlaConfig(n_traces=200, n_fixed_classes=1, seed=3,
+                            chunk_traces=50, tvla_order=2)
+        reference = assess_leakage(tiny_netlist, config)
+        result = run_campaign(campaign_root, tiny_netlist, config,
+                              n_shards=2, n_workers=1)
+        np.testing.assert_allclose(result.order_t_values[2],
+                                   reference.order_t_values[2],
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_resume_from_checkpoint_bit_identical(self, small_benchmark,
+                                                  campaign_config, tmp_path):
+        # Run shards 0-1, "crash", resubmit, finish: must equal an
+        # uninterrupted campaign bit for bit (same partials, same merge
+        # order).
+        interrupted_root = tmp_path / "interrupted"
+        clean_root = tmp_path / "clean"
+        outcome = submit_campaign(interrupted_root, netlist=small_benchmark,
+                                  config=campaign_config, n_shards=3)
+        assert outcome.status == "submitted"
+        assert outcome.n_shards_total == 3
+        run_worker(campaign_queue(interrupted_root), max_tasks=2, drain=True)
+        paths = CampaignPaths(interrupted_root, outcome.spec_hash)
+        done_before = [k for k in range(3) if paths.shard_path(k).exists()]
+        assert len(done_before) == 2
+
+        resumed = submit_campaign(interrupted_root, netlist=small_benchmark,
+                                  config=campaign_config, n_shards=3)
+        assert resumed.status == "resumed"
+        assert resumed.spec_hash == outcome.spec_hash
+        assert resumed.n_shards_done == 2
+        assert resumed.n_enqueued == 0  # idempotent keys: already queued
+        run_worker(campaign_queue(interrupted_root), drain=True)
+        result = collect_result(interrupted_root, outcome.spec_hash,
+                                timeout=60)
+
+        clean = run_campaign(clean_root, small_benchmark, campaign_config,
+                             n_shards=3, n_workers=1)
+        _assert_assessments_equal(result, clean)
+
+    def test_worker_killed_mid_shard_recovers(self, small_benchmark,
+                                              campaign_config,
+                                              campaign_root):
+        # Fault injection: a worker claims a shard and dies (never acks).
+        # Its lease expires, a healthy worker reclaims the shard, and the
+        # campaign converges to the serial verdict.
+        outcome = submit_campaign(campaign_root, netlist=small_benchmark,
+                                  config=campaign_config, n_shards=3)
+        queue = campaign_queue(campaign_root)
+        doomed = queue.claim(worker="doomed", lease_seconds=0.05)
+        assert doomed is not None
+        time.sleep(0.1)  # the dead worker's lease expires
+        run_worker(queue, worker="healthy", drain=True)
+        result = collect_result(campaign_root, outcome.spec_hash, timeout=60)
+        reference = assess_leakage(small_benchmark, campaign_config)
+        np.testing.assert_allclose(result.t_values, reference.t_values,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_duplicate_delivery_single_checkpoint(self, small_benchmark,
+                                                  campaign_config,
+                                                  campaign_root):
+        # Fault injection: a slow worker finishes *after* the shard was
+        # redelivered and completed elsewhere.  Its late ack is a no-op
+        # and the checkpoint is written exactly once (atomic publish +
+        # idempotent recompute guard).
+        outcome = submit_campaign(campaign_root, netlist=small_benchmark,
+                                  config=campaign_config, n_shards=3)
+        queue = campaign_queue(campaign_root)
+        slow = queue.claim(worker="slow", lease_seconds=0.05)
+        time.sleep(0.1)
+        run_worker(queue, worker="fast", drain=True)  # redelivery completes
+        # The slow worker now executes the same payload and tries to ack.
+        fn, args, kwargs = pickle.loads(slow.payload)
+        late_result = fn(*args, **kwargs)
+        assert late_result["skipped"] is True  # checkpoint already there
+        assert not queue.ack(slow.task_id, slow.lease_token,
+                             pickle.dumps(late_result))
+        result = collect_result(campaign_root, outcome.spec_hash, timeout=60)
+        reference = assess_leakage(small_benchmark, campaign_config)
+        np.testing.assert_allclose(result.t_values, reference.t_values,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_cache_hit_skips_work_and_is_bit_identical(self, small_benchmark,
+                                                       campaign_config,
+                                                       campaign_root):
+        first = run_campaign(campaign_root, small_benchmark, campaign_config,
+                             n_shards=3, n_workers=1)
+        resubmitted = submit_campaign(campaign_root, netlist=small_benchmark,
+                                      config=campaign_config, n_shards=3)
+        assert resubmitted.status == "cached"
+        assert resubmitted.n_enqueued == 0
+        again = collect_result(campaign_root, resubmitted.spec_hash)
+        _assert_assessments_equal(first, again)
+
+    def test_failed_shard_surfaces_worker_traceback(self, small_benchmark,
+                                                    campaign_config,
+                                                    campaign_root):
+        outcome = submit_campaign(campaign_root, netlist=small_benchmark,
+                                  config=campaign_config, n_shards=2)
+        queue = campaign_queue(campaign_root)
+        # Poison shard 0 by exhausting its attempt budget with fails.
+        paths = CampaignPaths(campaign_root, outcome.spec_hash)
+        for _ in range(queue.default_max_attempts):
+            task = queue.claim()
+            if task.key == paths.shard_key(0):
+                verdict = queue.fail(task.task_id, task.lease_token,
+                                     "simulated worker crash")
+            else:  # execute the healthy shard normally
+                fn, args, kwargs = pickle.loads(task.payload)
+                queue.ack(task.task_id, task.lease_token,
+                          pickle.dumps(fn(*args, **kwargs)))
+        assert verdict == "failed"
+        with pytest.raises(CampaignError, match="simulated worker crash"):
+            collect_result(campaign_root, outcome.spec_hash, timeout=5)
+        # Resubmission recovers the poisoned shard: the failed task is
+        # requeued with a fresh attempt budget and the campaign completes.
+        retried = submit_campaign(campaign_root, netlist=small_benchmark,
+                                  config=campaign_config, n_shards=2)
+        assert retried.n_enqueued == 1
+        run_worker(queue, drain=True)
+        result = collect_result(campaign_root, outcome.spec_hash, timeout=60)
+        reference = assess_leakage(small_benchmark, campaign_config)
+        np.testing.assert_allclose(result.t_values, reference.t_values,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_status_and_listing(self, small_benchmark, campaign_config,
+                                campaign_root):
+        outcome = submit_campaign(campaign_root, netlist=small_benchmark,
+                                  config=campaign_config, n_shards=3)
+        status = campaign_status(campaign_root, outcome.spec_hash)
+        assert status.state == "running"
+        assert status.n_shards_done == 0
+        run_worker(campaign_queue(campaign_root), drain=True)
+        collect_result(campaign_root, outcome.spec_hash, timeout=60)
+        status = campaign_status(campaign_root, outcome.spec_hash)
+        assert status.state == "complete"
+        assert status.n_shards_done == 3
+        listed = list_campaigns(campaign_root)
+        assert [s.spec_hash for s in listed] == [outcome.spec_hash]
+
+    def test_submit_requires_netlist_or_spec(self, campaign_root):
+        with pytest.raises(ValueError, match="netlist or a spec"):
+            submit_campaign(campaign_root)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed result store
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_round_trip_bit_identical(self, small_benchmark, campaign_config,
+                                      tmp_path):
+        assessment = assess_leakage(small_benchmark, campaign_config)
+        revived = assessment_from_dict(assessment_to_dict(assessment))
+        _assert_assessments_equal(assessment, revived)
+        assert revived.elapsed_seconds == assessment.elapsed_seconds
+        assert revived.t_values.dtype == assessment.t_values.dtype
+
+    def test_store_is_write_once(self, small_benchmark, campaign_config,
+                                 tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = assess_leakage(small_benchmark, campaign_config)
+        key = "ab" * 32
+        assert store.put(key, first, metadata={"origin": "test"})
+        second = assess_leakage(
+            small_benchmark,
+            TvlaConfig(**{**CAMPAIGN_TVLA, "seed": 99}))
+        assert not store.put(key, second)  # first write wins
+        assert np.array_equal(store.get(key).t_values, first.t_values)
+        assert store.metadata(key) == {"origin": "test"}
+        assert list(store.keys()) == [key]
+        assert len(store) == 1
+
+    def test_missing_and_invalid_keys(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get("cd" * 32) is None
+        assert not store.has("cd" * 32)
+        with pytest.raises(ValueError, match="content hash"):
+            store.get("../../etc/passwd")
+        with pytest.raises(ValueError, match="content hash"):
+            store.get("xyz")
+
+    def test_corrupt_object_rejected(self, small_benchmark, campaign_config,
+                                     tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = "ef" * 32
+        store.put(key, assess_leakage(small_benchmark, campaign_config))
+        store.object_path(key).write_text("{ not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            store.get(key)
+
+    def test_as_result_store_coercion(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert as_result_store(store) is store
+        assert as_result_store(tmp_path / "store").root == store.root
+
+
+# ----------------------------------------------------------------------
+# Store wiring: assess_many and protect_design
+# ----------------------------------------------------------------------
+class TestStoreWiring:
+    def test_assess_many_serves_cache_without_simulating(
+            self, small_benchmark, tiny_netlist, campaign_config, tmp_path,
+            monkeypatch):
+        store = tmp_path / "store"
+        first = assess_many([small_benchmark, tiny_netlist], campaign_config,
+                            n_shards=2, executor="thread", store=store)
+
+        from repro.tvla import sharding
+
+        def no_simulation(*args, **kwargs):
+            raise AssertionError("cache hit must not simulate")
+
+        monkeypatch.setattr(sharding, "_shard_moments", no_simulation)
+        monkeypatch.setattr(sharding, "_shard_moments_rebuilt", no_simulation)
+        second = assess_many([small_benchmark, tiny_netlist], campaign_config,
+                             n_shards=2, executor="thread", store=store)
+        for name in first:
+            _assert_assessments_equal(first[name], second[name])
+
+    def test_assess_many_partial_cache(self, small_benchmark, tiny_netlist,
+                                       campaign_config, tmp_path):
+        store = tmp_path / "store"
+        only_tiny = assess_many([tiny_netlist], campaign_config, n_shards=2,
+                                store=store)
+        both = assess_many([small_benchmark, tiny_netlist], campaign_config,
+                           n_shards=2, store=store)
+        assert np.array_equal(both[tiny_netlist.name].t_values,
+                              only_tiny[tiny_netlist.name].t_values)
+        assert set(both) == {small_benchmark.name, tiny_netlist.name}
+
+    def test_protect_design_before_after_cached(self, trained_polaris,
+                                                tiny_netlist, tmp_path,
+                                                monkeypatch):
+        from repro.core import pipeline, protect_design
+
+        calls = {"count": 0}
+        real_assess = pipeline.assess_leakage
+
+        def counting_assess(*args, **kwargs):
+            calls["count"] += 1
+            return real_assess(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline, "assess_leakage", counting_assess)
+        store = tmp_path / "store"
+        first = protect_design(tiny_netlist, trained_polaris, store=store)
+        assert calls["count"] == 2  # before + after were really assessed
+        second = protect_design(tiny_netlist, trained_polaris, store=store)
+        assert calls["count"] == 2  # both served from the store
+        _assert_assessments_equal(first.before, second.before)
+        _assert_assessments_equal(first.after, second.after)
+        assert first.leakage == second.leakage
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def _submit_args(self, root):
+        return ["submit", "--root", str(root),
+                "--benchmark", "des3", "--scale", "0.25",
+                "--design-seed", "99", "--traces", "240",
+                "--chunk-traces", "48", "--classes", "2", "--seed", "7",
+                "--shards", "3"]
+
+    def test_submit_work_status_result(self, campaign_root, capsys,
+                                       small_benchmark, campaign_config):
+        assert cli_main(self._submit_args(campaign_root)) == 0
+        spec_hash = capsys.readouterr().out.split()[1]
+        assert cli_main(["work", "--root", str(campaign_root),
+                         "--drain"]) == 0
+        assert "3 task(s) executed" in capsys.readouterr().out
+        assert cli_main(["status", "--root", str(campaign_root)]) == 0
+        assert "3/3 shards" in capsys.readouterr().out
+        assert cli_main(["result", "--root", str(campaign_root),
+                         spec_hash, "--timeout", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "des3" in out and "leaky gates" in out
+        # The CLI campaign equals the serial in-process assessment: the
+        # fixture small_benchmark is the same (des3, 0.25, 99) design.
+        result = collect_result(campaign_root, spec_hash)
+        reference = assess_leakage(small_benchmark, campaign_config)
+        np.testing.assert_allclose(result.t_values, reference.t_values,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_resubmission_reports_cached(self, campaign_root, capsys):
+        assert cli_main(self._submit_args(campaign_root)) == 0
+        spec_hash = capsys.readouterr().out.split()[1]
+        assert cli_main(["work", "--root", str(campaign_root),
+                         "--drain"]) == 0
+        assert cli_main(["result", "--root", str(campaign_root),
+                         spec_hash]) == 0
+        capsys.readouterr()
+        assert cli_main(self._submit_args(campaign_root)) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_result_json_round_trips(self, campaign_root, capsys):
+        assert cli_main(self._submit_args(campaign_root)) == 0
+        spec_hash = capsys.readouterr().out.split()[1]
+        cli_main(["work", "--root", str(campaign_root), "--drain"])
+        capsys.readouterr()
+        assert cli_main(["result", "--root", str(campaign_root), spec_hash,
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        revived = assessment_from_dict(payload)
+        assert revived.design_name == "des3"
+        assert revived.n_shards == 3
+
+    def test_status_empty_root(self, campaign_root, capsys):
+        assert cli_main(["status", "--root", str(campaign_root)]) == 0
+        assert "no campaigns" in capsys.readouterr().out
+
+    def test_result_timeout_is_an_error(self, campaign_root, capsys):
+        assert cli_main(self._submit_args(campaign_root)) == 0
+        spec_hash = capsys.readouterr().out.split()[1]
+        # No worker ran: collecting with a tiny timeout must fail cleanly.
+        assert cli_main(["result", "--root", str(campaign_root), spec_hash,
+                         "--timeout", "0.2"]) == 1
+        assert "missing shards" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Optional distributed adapters
+# ----------------------------------------------------------------------
+class TestAdapters:
+    def test_guarded_imports(self):
+        from repro.campaign import (OptionalDependencyError, dask_executor,
+                                    mpi_executor)
+        for factory, module in ((dask_executor, "distributed"),
+                                (mpi_executor, "mpi4py")):
+            try:
+                __import__(module)
+            except ImportError:
+                with pytest.raises(OptionalDependencyError,
+                                   match="QueueExecutor"):
+                    factory()
+            else:  # pragma: no cover - depends on the environment
+                pytest.skip(f"{module} installed; adapter exercised there")
+
+    def test_cross_process_proxy(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+        from repro.campaign import CrossProcessExecutor
+        inner = ThreadPoolExecutor(max_workers=1)
+        proxy = CrossProcessExecutor(inner, owns_inner=True)
+        assert proxy.cross_process
+        assert proxy.submit(_double, 21).result(timeout=10) == 42
+        proxy.shutdown()
+        assert inner._shutdown

@@ -17,7 +17,7 @@ multi-worker jobs:
 * :mod:`repro.campaign.adapters` — optional dask / MPI executors behind
   guarded imports;
 * :mod:`repro.campaign.cli` — the ``polaris-campaign`` console script
-  (``submit`` / ``work`` / ``status`` / ``result``).
+  (``submit`` / ``work`` / ``status`` / ``result`` / ``gc``).
 
 Quickstart (single host, two worker threads)::
 
@@ -47,11 +47,13 @@ from .runner import (
     CampaignError,
     CampaignPaths,
     CampaignStatus,
+    GcOutcome,
     SubmitOutcome,
     campaign_queue,
     campaign_status,
     campaign_store,
     collect_result,
+    gc_campaign_root,
     list_campaigns,
     load_spec,
     run_campaign,
@@ -78,6 +80,7 @@ __all__ = [
     "CampaignStatus",
     "ClaimedTask",
     "CrossProcessExecutor",
+    "GcOutcome",
     "OptionalDependencyError",
     "QueueExecutor",
     "ResultStore",
@@ -91,6 +94,7 @@ __all__ = [
     "campaign_store",
     "collect_result",
     "dask_executor",
+    "gc_campaign_root",
     "list_campaigns",
     "load_spec",
     "mpi_executor",

@@ -1,18 +1,23 @@
 """``polaris-campaign`` — the campaign orchestration command line.
 
-Four subcommands over a shared campaign root directory::
+Five subcommands over a shared campaign root directory::
 
     polaris-campaign submit --root RUNS --benchmark des3 --traces 600 \\
         --chunk-traces 128 --shards 4
     polaris-campaign work   --root RUNS --drain          # run on N hosts
+    polaris-campaign work   --root RUNS --forever --max-idle 300   # daemon
     polaris-campaign status --root RUNS
     polaris-campaign result --root RUNS <spec-hash>
+    polaris-campaign gc     --root RUNS --max-age-days 30 --shards
 
 ``submit`` registers the campaign (idempotent; cache hits short-circuit),
-``work`` serves the queue until stopped or drained, ``status`` shows shard
-progress, and ``result`` waits for completion, merges the shard
-checkpoints, stores the assessment content-addressed, and prints the
-verdict.  See ``docs/campaigns.md`` for the full walkthrough.
+``work`` serves the queue until stopped or drained (``--forever`` turns it
+into a daemon with exponential poll backoff; ``--max-idle`` bounds how
+long an idle worker lives, the CI-friendly cutoff), ``status`` shows shard
+progress, ``result`` waits for completion, merges the shard checkpoints,
+stores the assessment content-addressed, and prints the verdict, and
+``gc`` evicts old store objects and redundant shard checkpoints.  See
+``docs/campaigns.md`` for the full walkthrough.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import List, Optional
 
 from ..netlist.benchmarks import load_benchmark
 from ..netlist.parser import parse_bench_file
+from ..power.traces import POWER_BACKENDS
 from ..tvla.assessment import SUPPORTED_TVLA_ORDERS, TvlaConfig
 from .queue import run_worker
 from .runner import (
@@ -32,6 +38,7 @@ from .runner import (
     campaign_queue,
     campaign_status,
     collect_result,
+    gc_campaign_root,
     list_campaigns,
     submit_campaign,
 )
@@ -71,6 +78,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="highest TVLA order to evaluate")
     submit.add_argument("--mode", default="fixed_vs_random",
                         choices=("fixed_vs_random", "fixed_vs_fixed"))
+    submit.add_argument("--power-backend", default="packed",
+                        choices=POWER_BACKENDS,
+                        help="power-engine toggle extraction (packed = "
+                             "bit-packed fast path, unpacked = oracle; "
+                             "bit-identical results, different hashes)")
 
     work = commands.add_parser(
         "work", help="serve the queue: claim, execute and ack shard tasks")
@@ -82,10 +94,39 @@ def _build_parser() -> argparse.ArgumentParser:
     work.add_argument("--lease-seconds", type=float, default=None,
                       help="per-claim lease override")
     work.add_argument("--poll-interval", type=float, default=0.1,
-                      help="idle sleep between empty claims")
+                      help="idle sleep between empty claims (initial "
+                           "sleep in --forever mode)")
     work.add_argument("--drain", action="store_true",
                       help="exit once no outstanding work remains "
                            "(waits out other workers' live leases)")
+    work.add_argument("--forever", action="store_true",
+                      help="daemon mode: never exit on an empty queue; "
+                           "idle polls back off exponentially up to "
+                           "--max-poll-interval")
+    work.add_argument("--max-poll-interval", type=float, default=5.0,
+                      help="backoff ceiling of --forever mode (seconds)")
+    work.add_argument("--max-idle", type=float, default=None,
+                      help="exit after this many seconds without claiming "
+                           "a task (CI cutoff for daemon workers)")
+
+    gc = commands.add_parser(
+        "gc", help="evict old store results and redundant shard checkpoints")
+    gc.add_argument("--root", required=True, type=Path)
+    age = gc.add_mutually_exclusive_group(required=True)
+    age.add_argument("--max-age", type=float, default=None,
+                     help="evict results older than this many seconds")
+    age.add_argument("--max-age-days", type=float, default=None,
+                     help="evict results older than this many days")
+    age.add_argument("--all", action="store_true", dest="evict_all",
+                     help="evict every result not listed in --keep")
+    gc.add_argument("--keep", action="append", default=[], metavar="HASH",
+                    help="content hash to retain regardless of age "
+                         "(repeatable)")
+    gc.add_argument("--shards", action="store_true", dest="prune_shards",
+                    help="also delete shard checkpoints of campaigns "
+                         "whose merged result is stored")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without deleting")
 
     status = commands.add_parser(
         "status", help="show campaign progress under a root")
@@ -113,7 +154,8 @@ def _submit(args: argparse.Namespace) -> int:
     config = TvlaConfig(n_traces=args.traces, mode=args.mode,
                         n_fixed_classes=args.classes, seed=args.seed,
                         chunk_traces=args.chunk_traces,
-                        tvla_order=args.order)
+                        tvla_order=args.order,
+                        power_backend=args.power_backend)
     outcome = submit_campaign(args.root, netlist=netlist, config=config,
                               n_shards=args.shards)
     print(f"{outcome.status} {outcome.spec_hash}")
@@ -127,13 +169,43 @@ def _submit(args: argparse.Namespace) -> int:
 
 
 def _work(args: argparse.Namespace) -> int:
+    if args.forever and args.drain:
+        print("error: --forever and --drain are mutually exclusive",
+              file=sys.stderr)
+        return 2
     queue = campaign_queue(args.root)
     executed = run_worker(queue, worker=args.worker,
                           max_tasks=args.max_tasks,
                           poll_interval=args.poll_interval,
                           lease_seconds=args.lease_seconds,
-                          drain=args.drain)
+                          drain=args.drain,
+                          forever=args.forever,
+                          max_poll_interval=args.max_poll_interval,
+                          max_idle=args.max_idle)
     print(f"worker exit: {executed} task(s) executed")
+    return 0
+
+
+def _gc(args: argparse.Namespace) -> int:
+    if args.evict_all:
+        max_age = None  # no age filter: evict everything not in --keep
+    elif args.max_age_days is not None:
+        max_age = args.max_age_days * 86400.0
+    else:
+        max_age = args.max_age
+    outcome = gc_campaign_root(args.root, max_age=max_age,
+                               keep_hashes=args.keep,
+                               prune_shards=args.prune_shards,
+                               dry_run=args.dry_run)
+    verb = "would evict" if outcome.dry_run else "evicted"
+    print(f"{verb} {len(outcome.pruned_results)} result(s), "
+          f"kept {outcome.kept_results}")
+    for key in outcome.pruned_results:
+        print(f"  result {key[:12]}…")
+    for key in outcome.pruned_shard_dirs:
+        print(f"  shards {key[:12]}… "
+              f"({'would be ' if outcome.dry_run else ''}removed: "
+              f"merged result is stored)")
     return 0
 
 
@@ -182,7 +254,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``polaris-campaign`` console script."""
     args = _build_parser().parse_args(argv)
     handlers = {"submit": _submit, "work": _work, "status": _status,
-                "result": _result}
+                "result": _result, "gc": _gc}
     return handlers[args.command](args)
 
 

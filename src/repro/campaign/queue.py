@@ -159,7 +159,8 @@ class TaskQueue:
 
     # ------------------------------------------------------------------
     def put(self, payload: bytes, key: Optional[str] = None,
-            max_attempts: Optional[int] = None) -> PutOutcome:
+            max_attempts: Optional[int] = None,
+            requeue_done: bool = False) -> PutOutcome:
         """Enqueue a payload; idempotent when ``key`` is given.
 
         A keyed put of a live task (pending/leased/done) is a no-op, so
@@ -167,6 +168,11 @@ class TaskQueue:
         **failed** task requeues it with a fresh attempt budget — that is
         how resubmission recovers a campaign whose shard died on a
         transient cause (OOM, full disk) after exhausting its retries.
+        With ``requeue_done=True`` a **done** task is requeued as well:
+        the caller is asserting that the task's durable side-effect no
+        longer exists (e.g. ``polaris-campaign gc`` evicted the shard
+        checkpoint), so the stale completion record must not block a
+        recompute.  Pending/leased tasks are never disturbed.
 
         Returns:
             A :class:`PutOutcome` (task id + what happened), decided in a
@@ -177,6 +183,7 @@ class TaskQueue:
                         else int(max_attempts))
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        requeue_states = ("failed", "done") if requeue_done else ("failed",)
         with self._connect() as conn:
             if key is not None:
                 conn.execute("BEGIN IMMEDIATE")
@@ -185,13 +192,13 @@ class TaskQueue:
                     (key,)).fetchone()
                 if row is not None:
                     task_id, status = int(row[0]), row[1]
-                    if status != "failed":
+                    if status not in requeue_states:
                         return PutOutcome(task_id, "existing")
                     conn.execute(
                         "UPDATE tasks SET status = 'pending', attempts = 0,"
                         " max_attempts = ?, payload = ?, lease_token = NULL,"
-                        " lease_expires = NULL, error = NULL,"
-                        " enqueued_at = ? WHERE id = ?",
+                        " lease_expires = NULL, error = NULL, result = NULL,"
+                        " done_at = NULL, enqueued_at = ? WHERE id = ?",
                         (max_attempts, payload, time.time(), task_id))
                     return PutOutcome(task_id, "requeued")
             cursor = conn.execute(
@@ -355,20 +362,36 @@ def run_worker(queue: TaskQueue,
                poll_interval: float = 0.05,
                lease_seconds: Optional[float] = None,
                drain: bool = False,
-               stop_event: Optional[threading.Event] = None) -> int:
+               stop_event: Optional[threading.Event] = None,
+               forever: bool = False,
+               max_poll_interval: float = 5.0,
+               max_idle: Optional[float] = None) -> int:
     """Claim/execute/ack tasks until stopped; returns the executed count.
 
     Args:
         queue: The queue to serve.
         worker: Worker id recorded on leases (defaults to the pid).
         max_tasks: Stop after this many executions (None = unbounded).
-        poll_interval: Idle sleep between empty claims.
+        poll_interval: Idle sleep between empty claims (the *initial*
+            sleep in ``forever`` mode).
         lease_seconds: Per-claim lease override.
         drain: Stop once the queue holds no outstanding work.  A leased
             task on another worker still counts as outstanding, so a
             draining worker waits for dead workers' leases to expire and
             picks their shards up — which is exactly the resume story.
         stop_event: Cooperative cancellation for in-process workers.
+        forever: Daemon mode for long-lived fleets: never exit on an empty
+            queue, and back the idle poll off **exponentially** (doubling
+            from ``poll_interval`` up to ``max_poll_interval``) so an idle
+            fleet costs near-zero queue traffic; the interval resets to
+            ``poll_interval`` the moment a task is claimed.  Mutually
+            exclusive with ``drain``; ``max_tasks``, ``max_idle`` and
+            ``stop_event`` still apply.
+        max_poll_interval: Backoff ceiling of ``forever`` mode.
+        max_idle: Exit after this many seconds without claiming a task
+            (measured from startup or the last claim).  The CI-friendly
+            cutoff for daemon workers: ``forever=True, max_idle=60`` keeps
+            serving bursts but cannot outlive its pipeline job.
 
     Neither a raising task (reported via :meth:`TaskQueue.fail` and
     retried until its attempt budget runs out) nor transient queue I/O
@@ -376,8 +399,23 @@ def run_worker(queue: TaskQueue,
     timeout) kill the worker loop — queue errors are backed off and
     retried, because a silently dead worker would hang every future
     waiting on its acks.
+
+    Raises:
+        ValueError: for ``forever`` combined with ``drain``, or
+            non-positive intervals.
     """
+    if forever and drain:
+        raise ValueError("forever and drain are mutually exclusive: a "
+                         "daemon never exits on an empty queue")
+    if poll_interval <= 0:
+        raise ValueError("poll_interval must be > 0")
+    # max_poll_interval only participates in forever-mode backoff, so a
+    # plain worker with a long poll_interval stays valid.
+    if forever and max_poll_interval < poll_interval:
+        raise ValueError("max_poll_interval must be >= poll_interval")
     executed = 0
+    sleep_for = poll_interval
+    last_claim = time.monotonic()
     while stop_event is None or not stop_event.is_set():
         if max_tasks is not None and executed >= max_tasks:
             break
@@ -388,11 +426,18 @@ def run_worker(queue: TaskQueue,
         except (sqlite3.Error, OSError):
             task = None  # transient queue I/O error: back off and retry
         if task is None:
+            if max_idle is not None \
+                    and time.monotonic() - last_claim >= max_idle:
+                break
             if stop_event is not None:
-                stop_event.wait(poll_interval)
+                stop_event.wait(sleep_for)
             else:
-                time.sleep(poll_interval)
+                time.sleep(sleep_for)
+            if forever:
+                sleep_for = min(sleep_for * 2, max_poll_interval)
             continue
+        sleep_for = poll_interval
+        last_claim = time.monotonic()
         try:
             fn, args, kwargs = pickle.loads(task.payload)
             result = fn(*args, **kwargs)

@@ -29,12 +29,13 @@ from __future__ import annotations
 
 import os
 import pickle
+import shutil
 import tempfile
 import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..netlist.netlist import Netlist
 from ..tvla.assessment import (
@@ -207,7 +208,12 @@ def submit_campaign(root: Union[str, Path],
         # concurrent submitters cannot double count — and a shard that
         # previously exhausted its retries (transient crash cause) gets a
         # fresh attempt budget instead of wedging the campaign forever.
-        outcome = queue.put(payload, key=paths.shard_key(shard_index))
+        # requeue_done: this loop only reaches shards whose checkpoint is
+        # missing, so a 'done' queue row here is a stale completion record
+        # (the checkpoint was garbage-collected) and must not block the
+        # recompute.
+        outcome = queue.put(payload, key=paths.shard_key(shard_index),
+                            requeue_done=True)
         if outcome.action in ("inserted", "requeued"):
             n_enqueued += 1
     done = len(ranges) - len(missing)
@@ -389,6 +395,84 @@ def collect_result(root: Union[str, Path], spec_hash: str,
     # Return the stored copy: later cache hits are bit-identical to it by
     # construction (the round-trip itself is lossless).
     return store.get(spec_hash)
+
+
+# ----------------------------------------------------------------------
+# Garbage collection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GcOutcome:
+    """What :func:`gc_campaign_root` removed (or would remove).
+
+    Attributes:
+        pruned_results: Content hashes evicted from the result store.
+        pruned_shard_dirs: Campaign hashes whose shard-checkpoint
+            directories were removed (their merged result is stored, so
+            the per-shard partials were redundant).
+        kept_results: Objects still in the store afterwards.
+        dry_run: Whether this was a report-only pass.
+    """
+
+    pruned_results: Tuple[str, ...]
+    pruned_shard_dirs: Tuple[str, ...]
+    kept_results: int
+    dry_run: bool
+
+
+def gc_campaign_root(root: Union[str, Path],
+                     max_age: Optional[float] = None,
+                     keep_hashes: Iterable[str] = (),
+                     prune_shards: bool = False,
+                     dry_run: bool = False) -> GcOutcome:
+    """Evict old results (and redundant shard checkpoints) under ``root``.
+
+    The content-addressed store is write-once, so it only ever grows;
+    long-lived roots (CI fleets, shared lab servers) need an eviction
+    policy.  Everything removed here is re-derivable — re-submitting the
+    same campaign recomputes the identical result — so gc can never lose
+    information, only cache warmth.
+
+    Args:
+        root: The campaign root directory.
+        max_age: Evict stored results older than this many seconds
+            (``None`` = no age filter: evict everything not in
+            ``keep_hashes``).
+        keep_hashes: Campaign hashes to retain regardless of age.
+        prune_shards: Additionally delete the ``campaigns/<hash>/shards``
+            checkpoint directories of campaigns whose merged result is in
+            the store *before* this call's eviction runs — once merged and
+            stored, the per-shard partials are redundant bytes.  (If the
+            result itself is evicted in the same pass, a resubmission
+            recomputes from scratch; that is the documented trade.)
+        dry_run: Report what would be removed without touching disk.
+
+    Returns:
+        A :class:`GcOutcome`; with ``dry_run`` the outcome lists the
+        candidates and the filesystem is unchanged.
+    """
+    root = Path(root)
+    store = campaign_store(root)
+    shard_candidates: List[str] = []
+    if prune_shards:
+        campaigns_dir = root / "campaigns"
+        if campaigns_dir.exists():
+            for path in sorted(campaigns_dir.iterdir()):
+                if not (path / "spec.json").exists():
+                    continue  # not a campaign directory
+                shards_dir = path / "shards"
+                if shards_dir.exists() and any(shards_dir.iterdir()) \
+                        and store.has(path.name):
+                    shard_candidates.append(path.name)
+        if not dry_run:
+            for spec_hash in shard_candidates:
+                shutil.rmtree(root / "campaigns" / spec_hash / "shards",
+                              ignore_errors=True)
+    pruned = store.prune(max_age=max_age, keep_hashes=keep_hashes,
+                         dry_run=dry_run)
+    kept = len(store) - (len(pruned) if dry_run else 0)
+    return GcOutcome(pruned_results=tuple(pruned),
+                     pruned_shard_dirs=tuple(shard_candidates),
+                     kept_results=kept, dry_run=dry_run)
 
 
 def run_campaign(root: Union[str, Path], netlist: Netlist,

@@ -39,7 +39,8 @@ from ..tvla.sharding import shard_trace_ranges
 
 #: Bumped whenever the hashed payload layout (or the semantics of any
 #: hashed field) changes, so stale stores can never serve foreign results.
-SPEC_FORMAT = 1
+#: Format 2 added ``TvlaConfig.power_backend`` to the hashed config.
+SPEC_FORMAT = 2
 
 
 def tvla_config_to_dict(config: TvlaConfig) -> Dict[str, object]:

@@ -18,7 +18,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..tvla.assessment import LeakageAssessment
 from .serialize import assessment_from_dict, assessment_to_dict
@@ -128,6 +128,85 @@ class ResultStore:
         return True
 
     # ------------------------------------------------------------------
+    def created_at(self, key: str) -> Optional[float]:
+        """Creation timestamp of a stored object, or None.
+
+        Prefers the ``created_at`` recorded inside the object (stable
+        across copies/rsyncs); falls back to the file's mtime for objects
+        whose JSON cannot be read.
+        """
+        path = self.object_path(key)
+        try:
+            stamp = json.loads(path.read_text()).get("created_at")
+            if isinstance(stamp, (int, float)):
+                return float(stamp)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            pass
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return None
+
+    def prune(self, max_age: Optional[float] = None,
+              keep_hashes: Iterable[str] = (),
+              now: Optional[float] = None,
+              dry_run: bool = False) -> List[str]:
+        """Evict stored results; returns the pruned keys.
+
+        The store is write-once but **not** write-forever: every object is
+        re-derivable (its key is the content hash of the campaign spec
+        that produced it, and re-running that campaign rebuilds the result
+        bit-identically), so eviction can never lose information — only
+        cache warmth.
+
+        Args:
+            max_age: Evict objects older than this many seconds (by the
+                ``created_at`` recorded in the object, mtime fallback).
+                ``None`` means no age filter — everything not kept is
+                evicted (a full flush).
+            keep_hashes: Content hashes to retain regardless of age (e.g.
+                the campaigns a long-lived suite still serves).
+            now: Reference timestamp (defaults to ``time.time()``); tests
+                pin it to make age cutoffs deterministic.
+            dry_run: Report the keys that *would* be evicted without
+                deleting anything (the ``polaris-campaign gc --dry-run``
+                path).
+
+        Concurrent-safe: a racing reader either sees the whole object or a
+        clean miss (deletion is atomic), and a racing writer of the same
+        key simply recreates it afterwards.
+        """
+        keep = set(keep_hashes)
+        cutoff = None if max_age is None else \
+            (time.time() if now is None else now) - max_age
+        pruned: List[str] = []
+        for key in list(self.keys()):
+            if key in keep:
+                continue
+            if cutoff is not None:
+                stamp = self.created_at(key)
+                if stamp is not None and stamp > cutoff:
+                    continue
+            if dry_run:
+                pruned.append(key)
+                continue
+            try:
+                self.object_path(key).unlink()
+            except FileNotFoundError:
+                continue  # a concurrent prune got there first
+            pruned.append(key)
+        # Drop buckets emptied by the eviction (best-effort, racy-safe).
+        if not dry_run and self.objects_dir.exists():
+            for bucket in self.objects_dir.iterdir():
+                if bucket.is_dir():
+                    try:
+                        bucket.rmdir()
+                    except OSError:
+                        pass  # not empty (or concurrently repopulated)
+        return pruned
+
     def keys(self) -> Iterator[str]:
         """Iterate over the stored content hashes."""
         if not self.objects_dir.exists():

@@ -1,7 +1,8 @@
 """Power modelling: per-gate traces, noise, and area/power/delay analysis."""
 
+from .bitops import popcount16, popcount_rows
 from .model import GatePowerModel, PowerModelConfig
-from .traces import PowerTraceGenerator, PowerTraces
+from .traces import POWER_BACKENDS, PowerTraceGenerator, PowerTraces
 from .overhead import (
     DEFAULT_ACTIVITY,
     DesignMetrics,
@@ -11,8 +12,11 @@ from .overhead import (
 )
 
 __all__ = [
+    "popcount16",
+    "popcount_rows",
     "GatePowerModel",
     "PowerModelConfig",
+    "POWER_BACKENDS",
     "PowerTraceGenerator",
     "PowerTraces",
     "DEFAULT_ACTIVITY",

@@ -1,0 +1,87 @@
+"""Shared bit-level primitives for packed-trace processing.
+
+The simulator's compiled backend keeps the whole state matrix **bit-packed**
+(eight stimulus vectors per byte, ``numpy.packbits`` MSB-first order), and
+with ``power_backend="packed"`` the power engine consumes those bytes
+directly.  The primitives every packed consumer needs — population counts
+and padding-aware per-row reductions — live here, shared by
+
+* the fast measurement-noise sampler of :mod:`repro.power.traces`
+  (Binomial(16, 1/2) popcounts of raw generator words),
+* the packed toggle-count fast path of
+  :mod:`repro.simulation.switching` (``popcount(prev_row ^ cur_row)``
+  per gate, no unpack), and
+* anything else that reduces packed rows.
+
+On NumPy >= 2.0 the counts come from the hardware-backed
+``numpy.bitwise_count``; older NumPy falls back to one shared 16-bit
+lookup table (:data:`POPCOUNT16`, 64 KiB, built once per process), which
+also serves 8-bit inputs — a uint8 index simply never reaches the upper
+half of the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+def _build_popcount16() -> np.ndarray:
+    """Build the 64 KiB 16-bit population-count table (read-only)."""
+    table = (np.unpackbits(np.arange(65536, dtype=np.uint16).view(np.uint8))
+             .reshape(65536, 16).sum(axis=1).astype(np.uint8))
+    table.setflags(write=False)
+    return table
+
+
+if hasattr(np, "bitwise_count"):
+    def popcount16(values: np.ndarray) -> np.ndarray:
+        """Per-element population count of uint16 (or uint8) arrays."""
+        return np.bitwise_count(values)
+
+    def __getattr__(name: str) -> np.ndarray:
+        # The table is dead weight next to the hardware-backed
+        # bitwise_count, so it is built only if someone actually asks for
+        # ``bitops.POPCOUNT16`` (then memoised).
+        if name == "POPCOUNT16":
+            table = _build_popcount16()
+            globals()["POPCOUNT16"] = table
+            return table
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+else:
+    #: 16-bit population-count lookup table: ``POPCOUNT16[v]`` is the
+    #: number of set bits of ``v`` for any ``v < 65536``.  Valid for uint8
+    #: indices too.  (On NumPy >= 2.0 this attribute is built lazily.)
+    POPCOUNT16: np.ndarray = _build_popcount16()
+
+    def popcount16(values: np.ndarray) -> np.ndarray:
+        """Per-element population count via the shared 16-bit LUT."""
+        return POPCOUNT16[values]
+
+
+def popcount_rows(packed: np.ndarray, n_vectors: int) -> np.ndarray:
+    """Per-row set-bit counts of packed bit rows, ignoring padding bits.
+
+    Args:
+        packed: ``(..., n_bytes)`` uint8 array whose last axis holds
+            ``numpy.packbits``-packed bits (MSB first); typically rows of —
+            or XORs of rows of — a packed state matrix.
+        n_vectors: Number of valid bits per row.  Bits beyond it in the
+            last byte are padding with unspecified values (the packed
+            sweep's inverting kernels flip them) and are masked out before
+            counting.
+
+    Returns:
+        ``int64`` array of shape ``packed.shape[:-1]``.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    n_bytes = (n_vectors + 7) // 8
+    if packed.shape[-1] < n_bytes:
+        raise ValueError(
+            f"packed rows hold {packed.shape[-1] * 8} bits; "
+            f"n_vectors={n_vectors} is out of range")
+    packed = packed[..., :n_bytes]
+    remainder = n_vectors % 8
+    if remainder:
+        packed = packed.copy()
+        packed[..., -1] &= np.uint8((0xFF << (8 - remainder)) & 0xFF)
+    return popcount16(packed).sum(axis=-1, dtype=np.int64)

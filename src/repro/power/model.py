@@ -24,6 +24,15 @@ import numpy as np
 from ..netlist.cell_library import CellLibrary, DEFAULT_LIBRARY, GateType
 from ..netlist.netlist import Gate
 
+#: Process-wide cache of masked-composite toggle tables, keyed by
+#: ``(model class, gate type, reuse_masks)``.  The tables are pure
+#: functions of the share structure (no config or seed dependence), but
+#: rebuilding one enumerates 16 * 64 mask/data combinations through the
+#: share network — wasted work for every sharded/campaign worker that
+#: rebuilds its generator.  Cached tables are returned read-only and
+#: shared; consumers copy (or ``astype``) before deriving from them.
+_TOGGLE_TABLE_CACHE: Dict[Tuple[type, GateType, bool], np.ndarray] = {}
+
 
 @dataclass(frozen=True)
 class PowerModelConfig:
@@ -369,7 +378,14 @@ class GatePowerModel:
             ``uint8`` array of shape ``(16, 8)`` (``reuse_masks``) or
             ``(16, 64)``, indexed by ``[data_index, mask_index]`` with
             ``data_index = a_prev | b_prev << 1 | a_cur << 2 | b_cur << 3``.
+            The array is **read-only** and shared process-wide: repeated
+            generator construction (e.g. sharded worker rebuilds) reuses
+            the cached table instead of re-enumerating the composite.
         """
+        cache_key = (type(self), gate_type, bool(reuse_masks))
+        cached = _TOGGLE_TABLE_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
         mask_bits = 3 if reuse_masks else 6
         n_mask = 1 << mask_bits
         index = np.arange(16 * n_mask)
@@ -395,7 +411,10 @@ class GatePowerModel:
         toggles = np.zeros(index.shape, dtype=np.uint8)
         for name in nodes_cur:
             toggles += np.logical_xor(nodes_prev[name], nodes_cur[name])
-        return toggles.reshape(16, n_mask)
+        table = toggles.reshape(16, n_mask)
+        table.setflags(write=False)
+        _TOGGLE_TABLE_CACHE[cache_key] = table
+        return table
 
     def noise_sigma_abs(self) -> float:
         """Absolute noise standard deviation (in switching-energy units)."""

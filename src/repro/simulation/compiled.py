@@ -26,17 +26,21 @@ This module removes the per-gate loop with a classic plan/execute split:
   - one contiguous output row slice, so the kernel writes straight into the
     state matrix.
 
-* **Execute** (:meth:`CompiledNetlist.execute`) — run a handful of large
-  fused numpy calls per level.  Internally the sweep is **bit-parallel**:
-  the batch dimension is packed eight vectors to a byte
-  (``numpy.packbits``), so every signal is a ``(n_vectors / 8)``-byte row,
-  every gate evaluation is a bitwise byte operation, and the whole sweep
-  touches 8x less memory than a boolean evaluation would.  One
-  ``numpy.unpackbits`` at the end materialises the public
-  ``(n_signals, n_vectors)`` boolean state matrix.  Every call operates on
-  whole segments, so numpy releases the GIL for the bulk of each chunk's
-  work and thread-pool shards (:mod:`repro.tvla.sharding`) genuinely
-  overlap.
+* **Execute** (:meth:`CompiledNetlist.execute_packed`) — run a handful of
+  large fused numpy calls per level.  The sweep is **bit-parallel**: the
+  batch dimension is packed eight vectors to a byte (``numpy.packbits``),
+  so every signal is a ``(n_vectors / 8)``-byte row, every gate evaluation
+  is a bitwise byte operation, and the whole sweep touches 8x less memory
+  than a boolean evaluation would.  ``execute_packed`` returns that packed
+  ``(n_signals, ceil(n_vectors / 8))`` byte matrix directly — consumers
+  that can work on packed bits (the power engine's
+  ``power_backend="packed"`` toggle extraction) never pay an unpack at
+  all, while :meth:`CompiledNetlist.unpack` (or the convenience
+  :meth:`CompiledNetlist.execute`) materialises the boolean
+  ``(n_signals, n_vectors)`` state matrix for everyone else.  Every call
+  operates on whole segments, so numpy releases the GIL for the bulk of
+  each chunk's work and thread-pool shards (:mod:`repro.tvla.sharding`)
+  genuinely overlap.
 
 The plan is immutable after construction and ``execute`` allocates fresh
 buffers per call, so one plan can be shared by concurrent threads.  Netlists
@@ -399,11 +403,12 @@ class CompiledNetlist:
         state: Optional[Mapping[str, np.ndarray]] = None,
         n_vectors: Optional[int] = None,
     ) -> np.ndarray:
-        """Run the levelised sweep for one batch of input vectors.
+        """Run the levelised sweep and unpack the boolean state matrix.
 
-        The sweep itself is bit-parallel: inputs are packed eight vectors to
-        a byte, each segment kernel is a fused bitwise byte operation, and
-        the result is unpacked once at the end.
+        Convenience wrapper: :meth:`execute_packed` followed by
+        :meth:`unpack`.  Consumers that can work on packed bits (the power
+        engine's packed toggle extraction) call ``execute_packed`` directly
+        and skip the unpack entirely.
 
         Args:
             input_values: Boolean array per primary input, shape
@@ -419,6 +424,35 @@ class CompiledNetlist:
             marked read-only.  Fresh buffers are allocated per call, so
             results from successive calls never alias and the plan is safe
             to share across threads.
+        """
+        if n_vectors is None:
+            first = next(iter(input_values.values()))
+            n_vectors = int(np.asarray(first).shape[0])
+        packed = self.execute_packed(input_values, state, n_vectors)
+        return self.unpack(packed, n_vectors)
+
+    def execute_packed(
+        self,
+        input_values: Mapping[str, np.ndarray],
+        state: Optional[Mapping[str, np.ndarray]] = None,
+        n_vectors: Optional[int] = None,
+    ) -> np.ndarray:
+        """Run the bit-parallel sweep and return the **packed** state matrix.
+
+        Inputs are packed eight vectors to a byte and every segment kernel
+        is a fused bitwise byte operation; no unpack happens here.  Bit
+        ``j`` (MSB first, ``numpy.packbits`` order) of byte ``k`` in a row
+        holds vector ``8 * k + j`` of that signal; bits beyond
+        ``n_vectors`` in the last byte are padding with **unspecified**
+        values (inverting kernels flip them), so consumers must mask or
+        drop them — :meth:`unpack` and
+        :func:`repro.power.bitops.popcount_rows` both do.
+
+        Args/threading contract: as :meth:`execute`.
+
+        Returns:
+            The ``(n_signals, ceil(n_vectors / 8))`` uint8 matrix, marked
+            read-only (row views of it are shared with lazy consumers).
         """
         if n_vectors is None:
             first = next(iter(input_values.values()))
@@ -477,11 +511,21 @@ class CompiledNetlist:
             if invert:
                 bnot(out, out=out)
 
+        packed.setflags(write=False)
+        return packed
+
+    @staticmethod
+    def unpack(packed: np.ndarray, n_vectors: int) -> np.ndarray:
+        """Unpack a matrix from :meth:`execute_packed` to boolean form.
+
+        Returns:
+            The ``(n_signals, n_vectors)`` boolean state matrix, marked
+            read-only: every exported net value is a view of this matrix,
+            so an in-place mutation by a caller raises instead of silently
+            corrupting other nets (same contract as the loop backend's
+            shared zero buffer, extended to all signals).
+        """
         matrix = np.unpackbits(packed, axis=1, count=n_vectors).view(bool)
-        # Read-only: every exported net value is a view of this matrix, so
-        # an in-place mutation by a caller raises instead of silently
-        # corrupting other nets (same contract as the loop backend's shared
-        # zero buffer, extended to all signals).
         matrix.setflags(write=False)
         return matrix
 
@@ -493,3 +537,20 @@ class CompiledNetlist:
         """
         return {net: state_matrix[data_row].copy()
                 for net, _, data_row in self._dff_next_items}
+
+    def next_state_packed(self, packed: np.ndarray,
+                          n_vectors: int) -> Dict[str, np.ndarray]:
+        """Register next-state straight from a packed state matrix.
+
+        Unpacks only the register data rows, so multi-cycle runs on the
+        packed path never force a full-matrix unpack just to advance the
+        clock.  Returns fresh writable arrays, like :meth:`next_state`.
+        """
+        if not self._dff_next_items:
+            return {}
+        data_rows = np.asarray([row for _, _, row in self._dff_next_items],
+                               dtype=np.intp)
+        values = np.unpackbits(packed[data_rows], axis=1,
+                               count=n_vectors).view(bool)
+        return {net: values[i]
+                for i, (net, _, _) in enumerate(self._dff_next_items)}

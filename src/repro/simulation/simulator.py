@@ -24,7 +24,6 @@ optional register state and returns the next state, and
 from __future__ import annotations
 
 from collections.abc import Mapping as AbcMapping
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -73,7 +72,6 @@ class _StateNetValues(AbcMapping):
         return net in self._rows
 
 
-@dataclass
 class SimulationResult:
     """Values of every net for one evaluation batch.
 
@@ -89,12 +87,86 @@ class SimulationResult:
             engine adopts the plan's row numbering outright
             (``plan.signal_index``), and ad-hoc net sets resolve rows via
             :meth:`LogicSimulator.signal_rows`.
+        packed_matrix: The compiled backend's read-only ``(n_signals,
+            ceil(n_vectors / 8))`` **packed** byte matrix (``None`` for
+            the loop backend); bit layout per
+            :meth:`~repro.simulation.compiled.CompiledNetlist.execute_packed`.
+
+    Results from the compiled backend are **lazy**: the sweep produces
+    only ``packed_matrix``, and ``state_matrix`` / ``net_values`` /
+    ``next_state`` unpack it on first access (cached thereafter).
+    Consumers that stay on packed bits — the power engine's
+    ``power_backend="packed"`` toggle extraction — therefore never pay
+    the unpack, while every existing consumer sees the exact values it
+    always did.
     """
 
-    net_values: Mapping[str, np.ndarray]
-    next_state: Dict[str, np.ndarray]
-    n_vectors: int
-    state_matrix: Optional[np.ndarray] = field(default=None, repr=False)
+    __slots__ = ("n_vectors", "_net_values", "_next_state", "_state_matrix",
+                 "_packed", "_plan")
+
+    def __init__(self, net_values: Optional[Mapping[str, np.ndarray]] = None,
+                 next_state: Optional[Dict[str, np.ndarray]] = None,
+                 n_vectors: int = 0,
+                 state_matrix: Optional[np.ndarray] = None) -> None:
+        self.n_vectors = n_vectors
+        self._net_values = net_values
+        self._next_state = next_state
+        self._state_matrix = state_matrix
+        self._packed: Optional[np.ndarray] = None
+        self._plan: Optional[CompiledNetlist] = None
+
+    @classmethod
+    def from_packed(cls, plan: CompiledNetlist, packed: np.ndarray,
+                    n_vectors: int) -> "SimulationResult":
+        """Wrap a packed sweep result; unpacking is deferred to first use."""
+        result = cls(n_vectors=n_vectors)
+        result._plan = plan
+        result._packed = packed
+        return result
+
+    @property
+    def packed_matrix(self) -> Optional[np.ndarray]:
+        """The packed byte matrix (``None`` on the loop backend)."""
+        return self._packed
+
+    @property
+    def plan(self) -> Optional[CompiledNetlist]:
+        """The compiled plan that produced this result (``None`` on loop).
+
+        Packed consumers use it to resolve net names to packed-matrix rows
+        (:meth:`~repro.simulation.compiled.CompiledNetlist.rows_for`).
+        """
+        return self._plan
+
+    @property
+    def state_matrix(self) -> Optional[np.ndarray]:
+        """The boolean state matrix, unpacked on first access."""
+        if self._state_matrix is None and self._packed is not None:
+            self._state_matrix = self._plan.unpack(self._packed,
+                                                   self.n_vectors)
+        return self._state_matrix
+
+    @property
+    def net_values(self) -> Mapping[str, np.ndarray]:
+        """Mapping net name -> boolean value array."""
+        if self._net_values is None:
+            self._net_values = _StateNetValues(self.state_matrix,
+                                               self._plan.signal_index)
+        return self._net_values
+
+    @property
+    def next_state(self) -> Dict[str, np.ndarray]:
+        """Register next-state (private writable copies)."""
+        if self._next_state is None:
+            # Straight from the packed rows: advancing a sequential design
+            # on the packed path never forces a full-matrix unpack.
+            self._next_state = self._plan.next_state_packed(self._packed,
+                                                            self.n_vectors)
+        return self._next_state
+
+    def __repr__(self) -> str:
+        return (f"SimulationResult(n_vectors={self.n_vectors}, "
+                f"packed={self._packed is not None})")
 
     def output_values(self, netlist: Netlist) -> Dict[str, np.ndarray]:
         """Values of the netlist's primary outputs."""
@@ -228,11 +300,11 @@ class LogicSimulator:
 
         if self._plan is not None:
             # The plan casts/copies stimulus while packing, so no per-net
-            # asarray pass is needed on this path.
-            matrix = self._plan.execute(input_values, state_values, n_vectors)
-            net_values = _StateNetValues(matrix, self._plan.signal_index)
-            return SimulationResult(net_values, self._plan.next_state(matrix),
-                                    n_vectors, state_matrix=matrix)
+            # asarray pass is needed on this path.  The result stays packed
+            # until someone actually asks for boolean values.
+            packed = self._plan.execute_packed(input_values, state_values,
+                                               n_vectors)
+            return SimulationResult.from_packed(self._plan, packed, n_vectors)
 
         values: Dict[str, np.ndarray] = {}
         for net in self.netlist.primary_inputs:

@@ -41,7 +41,27 @@ def toggle_matrix(netlist: Netlist, previous: SimulationResult,
 
 def toggle_counts(netlist: Netlist, previous: SimulationResult,
                   current: SimulationResult) -> Dict[str, int]:
-    """Total number of toggles per gate across the batch."""
+    """Total number of toggles per gate across the batch.
+
+    When both results carry a packed state matrix from the same compiled
+    plan, the counts come straight from ``popcount(prev_row ^ cur_row)``
+    on the packed bytes (:func:`repro.power.bitops.popcount_rows`) — no
+    boolean unpack, 8x less memory touched, bit-identical totals.
+    """
+    plan = previous.plan
+    if (plan is not None and plan is current.plan
+            and previous.packed_matrix is not None
+            and current.packed_matrix is not None):
+        if previous.n_vectors != current.n_vectors:
+            raise ValueError(
+                "previous and current batches have different sizes")
+        from ..power.bitops import popcount_rows
+        gates = list(netlist.gates)
+        rows = plan.rows_for([gate.output for gate in gates])
+        counts = popcount_rows(
+            previous.packed_matrix[rows] ^ current.packed_matrix[rows],
+            previous.n_vectors)
+        return {gate.name: int(count) for gate, count in zip(gates, counts)}
     return {name: int(matrix.sum())
             for name, matrix in toggle_matrix(netlist, previous, current).items()}
 

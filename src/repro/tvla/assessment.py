@@ -40,7 +40,7 @@ import numpy as np
 
 from ..netlist.netlist import Netlist
 from ..power.model import PowerModelConfig
-from ..power.traces import PowerTraceGenerator
+from ..power.traces import POWER_BACKENDS, PowerTraceGenerator
 from ..simulation.simulator import SIM_BACKENDS
 from ..simulation.vectors import (
     TraceCampaign,
@@ -103,6 +103,15 @@ class TvlaConfig:
             ``"loop"`` keeps the per-gate reference sweep (the regression
             oracle).  Both backends generate bit-identical traces, so
             t-values agree exactly for a given seed.
+        power_backend: Toggle-extraction backend of the power engine:
+            ``"packed"`` (default) consumes the simulator's bit-packed
+            state matrix directly — the boolean state matrix is never
+            materialised between simulation and power extraction;
+            ``"unpacked"`` keeps the bool-matrix path as the bit-identical
+            oracle.  Traces — and therefore t-values — are exactly equal
+            either way (pinned by ``tests/test_packed_power.py``); with
+            ``sim_backend="loop"`` there is no packed matrix and
+            ``"packed"`` silently degrades to ``"unpacked"``.
     """
 
     n_traces: int = 1000
@@ -115,6 +124,7 @@ class TvlaConfig:
     streaming: Optional[bool] = None
     tvla_order: int = 1
     sim_backend: str = "compiled"
+    power_backend: str = "packed"
 
     def __post_init__(self) -> None:
         if self.chunk_traces < 1:
@@ -127,6 +137,10 @@ class TvlaConfig:
             raise ValueError(
                 f"sim_backend must be one of {SIM_BACKENDS}, "
                 f"got {self.sim_backend!r}")
+        if self.power_backend not in POWER_BACKENDS:
+            raise ValueError(
+                f"power_backend must be one of {POWER_BACKENDS}, "
+                f"got {self.power_backend!r}")
 
     def resolved_streaming(self) -> bool:
         """Whether assessments with this config stream their moments.
@@ -502,7 +516,8 @@ def resolve_generator(netlist: Netlist, config: TvlaConfig,
     if generator is None:
         return PowerTraceGenerator(netlist, config=config.power,
                                    seed=config.seed,
-                                   sim_backend=config.sim_backend)
+                                   sim_backend=config.sim_backend,
+                                   power_backend=config.power_backend)
     if generator.netlist is not netlist:
         raise ValueError(
             f"generator was built for netlist {generator.netlist.name!r}, "

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import struct
 from math import comb
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -62,6 +62,17 @@ class OnePassMoments:
             np.zeros(self.shape, dtype=float)
             for _ in range(2, self.max_order + 1)
         ]
+        #: Reusable batch work buffers (delta, Horner power chain); see
+        #: :meth:`_scratch_like`.  Never serialised.
+        self._batch_scratch: List[Optional[np.ndarray]] = [None, None]
+
+    def __getstate__(self) -> dict:
+        # Scratch buffers are multi-megabyte per-chunk workspaces; pickling
+        # them would bloat every queue message and shard checkpoint that
+        # ships an accumulator, so they are dropped and lazily rebuilt.
+        state = self.__dict__.copy()
+        state["_batch_scratch"] = [None, None]
+        return state
 
     # ------------------------------------------------------------------
     def update(self, sample: ArrayLike) -> None:
@@ -86,10 +97,83 @@ class OnePassMoments:
         batch instead of one Python-level Welford step per sample, which is
         what makes chunked streaming TVLA practical at paper scale.
 
+        The power chain is **fused**: instead of materialising a float64
+        conversion copy, a ``delta`` array and one fresh ``delta**k`` array
+        per order, the conversion lands in a reusable scratch buffer, the
+        deltas are subtracted in place, and every higher order is one
+        in-place Horner-style multiply into a second scratch that is
+        reused across chunks.  An order-6 accumulator (order-3 TVLA)
+        therefore runs zero steady-state allocations where the naive chain
+        made seven per chunk.  The arithmetic — operand order, dtype,
+        layout, summation association — is unchanged, so results are
+        **bit-identical** to :meth:`update_batch_naive` (the pre-fusion
+        reference, pinned by ``tests/test_packed_power.py``).
+
         Accumulators configured for ``max_order == 2`` (first-order TVLA
         campaigns) never build odd-order central sums: the batch reduction
         stops at the squared deviations and the merge dispatches to the
         specialised :meth:`_combine_order2` Chan update.
+        """
+        samples = np.asarray(samples)
+        if samples.ndim < 1 or samples.shape[1:] != self.shape:
+            raise ValueError(
+                f"batch shape {samples.shape} does not match accumulator "
+                f"shape (n, *{self.shape})"
+            )
+        n_b = samples.shape[0]
+        if n_b == 0:
+            return
+        # Reductions in numpy associate differently per memory layout, and
+        # the naive path's temporaries inherit the input's layout (asarray
+        # copies in K-order, ufunc outputs follow their operands).  The
+        # scratch buffers must therefore match that layout exactly; exotic
+        # strided inputs (neither C- nor F-contiguous) fall back to the
+        # naive allocation pattern, which is bit-identical by construction.
+        if samples.ndim > 1 and samples.flags.f_contiguous \
+                and not samples.flags.c_contiguous:
+            order = "F"
+        elif samples.flags.c_contiguous:
+            order = "C"
+        else:
+            order = None
+        if samples.dtype != np.float64:
+            if order is None:
+                samples = np.asarray(samples, dtype=np.float64)
+                delta = samples  # fresh copy: subtract in place below
+            else:
+                converted = self._scratch_like(samples.shape, order, slot=0)
+                converted[...] = samples
+                samples = converted
+                delta = samples  # owned: subtract in place below
+        else:
+            # Caller's float64 array: reduce on it directly (exactly what
+            # the naive path does) and never mutate it.
+            delta = (self._scratch_like(samples.shape, order, slot=0)
+                     if order is not None else None)
+        mean_b = samples.mean(axis=0)
+        delta = np.subtract(samples, mean_b, out=delta)
+        if self.max_order == 2:
+            # Order-2 needs no preserved delta: square it in place.
+            np.multiply(delta, delta, out=delta)
+            self._combine(n_b, mean_b, [delta.sum(axis=0)])
+            return
+        power = (self._scratch_like(samples.shape, order, slot=1)
+                 if order is not None else None)
+        power = np.multiply(delta, delta, out=power)
+        sums_b = [power.sum(axis=0)]
+        for _ in range(3, self.max_order + 1):
+            np.multiply(power, delta, out=power)
+            sums_b.append(power.sum(axis=0))
+        self._combine(n_b, mean_b, sums_b)
+
+    def update_batch_naive(self, samples: np.ndarray) -> None:
+        """Pre-fusion reference implementation of :meth:`update_batch`.
+
+        Converts to float64 up front and materialises the full
+        ``delta**k`` power chain, exactly as the engine did before the
+        fused update.  Kept as the bit-identical oracle for the property
+        tests and the ``microbench_moment_update`` comparison; production
+        paths call :meth:`update_batch`.
         """
         samples = np.asarray(samples, dtype=float)
         if samples.ndim < 1 or samples.shape[1:] != self.shape:
@@ -108,6 +192,25 @@ class OnePassMoments:
             power = power * delta
             sums_b.append(power.sum(axis=0))
         self._combine(n_b, mean_b, sums_b)
+
+    def _scratch_like(self, shape: Tuple[int, ...], order: str,
+                      slot: int) -> np.ndarray:
+        """A reusable float64 scratch buffer of ``shape`` and ``order``.
+
+        One accumulator folds same-sized chunks back to back, so caching
+        the two batch work buffers (delta and the Horner power chain)
+        eliminates the per-chunk multi-megabyte allocations — and their
+        page-fault cost — from the streaming hot path.  Buffers are
+        private to this accumulator: sharded workers each own their
+        accumulators, so no cross-thread aliasing is possible.
+        """
+        cached = self._batch_scratch[slot]
+        contiguous = "F_CONTIGUOUS" if order == "F" else "C_CONTIGUOUS"
+        if cached is None or cached.shape != shape \
+                or not cached.flags[contiguous]:
+            cached = np.empty(shape, dtype=np.float64, order=order)
+            self._batch_scratch[slot] = cached
+        return cached
 
     def _combine(self, n_b: int, mean_b: np.ndarray,
                  sums_b: Sequence[np.ndarray]) -> None:

@@ -131,12 +131,15 @@ def _shard_moments_rebuilt(netlist: Netlist,
     result shard-layout invariant).  Also used by the thread pool when the
     reference loop engine is selected (``vectorised=False``): the loop
     path mutates per-generator model state, so each task gets a private
-    generator instead of sharing one.  The simulation backend follows
-    ``config.sim_backend``.
+    generator instead of sharing one.  The simulation and power backends
+    follow ``config.sim_backend``/``config.power_backend``, so a campaign
+    runs the same extraction pipeline no matter which worker rebuilt the
+    generator.
     """
     generator = PowerTraceGenerator(netlist, config=config.power,
                                     seed=config.seed, vectorised=vectorised,
-                                    sim_backend=config.sim_backend)
+                                    sim_backend=config.sim_backend,
+                                    power_backend=config.power_backend)
     return [
         accumulate_campaign_slice(generator, pair, config, class_index,
                                   first_chunk=first_chunk)

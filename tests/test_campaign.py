@@ -374,6 +374,24 @@ class TestTaskQueue:
         with pytest.raises(KeyError):
             queue.outcome(12345)
 
+    def test_keyed_put_requeues_done_tasks_only_on_request(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        first = queue.put(b"payload", key="k")
+        task = queue.claim()
+        assert queue.ack(task.task_id, task.lease_token, b"result")
+        # Default: a done task is live — the put is a no-op.
+        assert queue.put(b"payload", key="k").action == "existing"
+        assert queue.outcome(first.task_id)[0] == "done"
+        # requeue_done: the caller says the durable side-effect is gone
+        # (gc evicted the checkpoint), so the stale completion is reset.
+        outcome = queue.put(b"payload2", key="k", requeue_done=True)
+        assert outcome.action == "requeued"
+        status, result, error = queue.outcome(first.task_id)
+        assert status == "pending" and result is None and error is None
+        redelivered = queue.claim()
+        assert redelivered.payload == b"payload2"
+        assert redelivered.attempts == 1  # fresh budget
+
     def test_run_worker_drain(self, tmp_path):
         queue = TaskQueue(tmp_path / "q.sqlite")
         for value in range(3):
@@ -855,3 +873,242 @@ class TestAdapters:
         assert proxy.submit(_double, 21).result(timeout=10) == 42
         proxy.shutdown()
         assert inner._shutdown
+
+
+# ----------------------------------------------------------------------
+# Daemon worker mode (--forever) and idle cutoffs
+# ----------------------------------------------------------------------
+class TestWorkerDaemonMode:
+    def test_forever_rejects_drain(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_worker(queue, forever=True, drain=True)
+
+    def test_forever_with_max_idle_exits_after_serving(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        for value in range(3):
+            queue.put(pickle.dumps((_double, (value,), {})))
+        started = time.monotonic()
+        executed = run_worker(queue, forever=True, poll_interval=0.01,
+                              max_poll_interval=0.05, max_idle=0.3)
+        elapsed = time.monotonic() - started
+        assert executed == 3
+        assert queue.outstanding() == 0
+        # Exited via the idle cutoff, not instantly and not hanging.
+        assert 0.3 <= elapsed < 10.0
+
+    def test_max_idle_applies_without_forever(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        executed = run_worker(queue, poll_interval=0.01, max_idle=0.1)
+        assert executed == 0
+
+    def test_long_poll_interval_valid_without_forever(self, tmp_path):
+        """The backoff ceiling only constrains forever mode: a plain
+        worker may poll slower than the default max_poll_interval."""
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        queue.put(pickle.dumps((_double, (4,), {})))
+        assert run_worker(queue, poll_interval=30.0, max_tasks=1) == 1
+        with pytest.raises(ValueError, match="max_poll_interval"):
+            run_worker(queue, forever=True, poll_interval=30.0)
+
+    def test_backoff_reduces_claim_pressure_while_idle(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        claims = {"n": 0}
+        real_claim = queue.claim
+
+        def counting_claim(**kwargs):
+            claims["n"] += 1
+            return real_claim(**kwargs)
+
+        queue.claim = counting_claim
+        run_worker(queue, forever=True, poll_interval=0.02,
+                   max_poll_interval=0.2, max_idle=0.6)
+        backoff_claims = claims["n"]
+        claims["n"] = 0
+        run_worker(queue, poll_interval=0.02, max_idle=0.6)
+        flat_claims = claims["n"]
+        # Exponential backoff (0.02 -> 0.04 -> ... -> 0.2) must poll the
+        # queue strictly less often than the flat 20 ms loop over the same
+        # idle window.
+        assert backoff_claims < flat_claims
+
+    def test_backoff_resets_after_a_task(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        sleeps = []
+
+        def run():
+            return run_worker(queue, forever=True, poll_interval=0.01,
+                              max_poll_interval=0.08, max_idle=0.25)
+
+        real_sleep = time.sleep
+
+        def recording_sleep(seconds):
+            sleeps.append(round(seconds, 4))
+            real_sleep(min(seconds, 0.02))
+
+        import repro.campaign.queue as queue_module
+        original = queue_module.time.sleep
+        queue_module.time.sleep = recording_sleep
+        try:
+            queue.put(pickle.dumps((_double, (1,), {})))
+            run()
+        finally:
+            queue_module.time.sleep = original
+        # The first idle sleep after serving the task restarts at the
+        # configured poll_interval and doubles from there.
+        assert sleeps[0] == pytest.approx(0.01)
+        assert max(sleeps) <= 0.08 + 1e-9
+
+    def test_cli_forever_max_idle(self, campaign_root, capsys):
+        assert cli_main(TestCli()._submit_args(campaign_root)) == 0
+        capsys.readouterr()
+        assert cli_main(["work", "--root", str(campaign_root), "--forever",
+                         "--poll-interval", "0.02",
+                         "--max-poll-interval", "0.1",
+                         "--max-idle", "0.5"]) == 0
+        assert "3 task(s) executed" in capsys.readouterr().out
+
+    def test_cli_forever_drain_conflict(self, campaign_root, capsys):
+        assert cli_main(["work", "--root", str(campaign_root), "--forever",
+                         "--drain"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Store eviction (prune) and root gc
+# ----------------------------------------------------------------------
+class TestStorePrune:
+    def _store_with(self, tmp_path, stamps):
+        """A store holding one tiny assessment per (key, created_at)."""
+        from repro.tvla import LeakageAssessment
+
+        store = ResultStore(tmp_path / "store")
+        for key, stamp in stamps.items():
+            assessment = LeakageAssessment(
+                design_name=f"d_{key[:4]}", gate_names=("g1",),
+                t_values=np.array([1.0]),
+                degrees_of_freedom=np.array([3.0]), threshold=4.5,
+                n_traces=16, elapsed_seconds=0.0)
+            assert store.put(key, assessment)
+            # Rewrite the recorded created_at to the pinned stamp.
+            path = store.object_path(key)
+            data = json.loads(path.read_text())
+            data["created_at"] = stamp
+            path.write_text(json.dumps(data, sort_keys=True))
+        return store
+
+    def test_prune_by_age_keeps_young_objects(self, tmp_path):
+        now = 1_000_000.0
+        old, young = "a" * 64, "b" * 64
+        store = self._store_with(tmp_path, {old: now - 500, young: now - 10})
+        pruned = store.prune(max_age=100, now=now)
+        assert pruned == [old]
+        assert not store.has(old) and store.has(young)
+        assert len(store) == 1
+
+    def test_prune_honours_keep_hashes(self, tmp_path):
+        now = 1_000_000.0
+        first, second = "a" * 64, "b" * 64
+        store = self._store_with(tmp_path,
+                                 {first: now - 500, second: now - 500})
+        pruned = store.prune(max_age=100, keep_hashes=[first], now=now)
+        assert pruned == [second]
+        assert store.has(first)
+
+    def test_prune_all_without_age(self, tmp_path):
+        store = self._store_with(tmp_path, {"a" * 64: 1.0, "b" * 64: 2.0})
+        assert sorted(store.prune()) == ["a" * 64, "b" * 64]
+        assert len(store) == 0
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = self._store_with(tmp_path, {"a" * 64: 1.0})
+        assert store.prune(dry_run=True) == ["a" * 64]
+        assert store.has("a" * 64)
+
+    def test_pruned_key_can_be_rewritten(self, tmp_path):
+        """Write-once applies to live objects; eviction reopens the slot."""
+        from repro.tvla import LeakageAssessment
+
+        store = self._store_with(tmp_path, {"a" * 64: 1.0})
+        store.prune()
+        assessment = LeakageAssessment(
+            design_name="again", gate_names=("g1",),
+            t_values=np.array([2.0]), degrees_of_freedom=np.array([3.0]),
+            threshold=4.5, n_traces=16, elapsed_seconds=0.0)
+        assert store.put("a" * 64, assessment)
+        assert store.get("a" * 64).design_name == "again"
+
+
+class TestRootGc:
+    def _completed_campaign(self, campaign_root, small_benchmark,
+                            campaign_config):
+        assessment = run_campaign(campaign_root, small_benchmark,
+                                  campaign_config, n_shards=2, n_workers=1)
+        outcome = submit_campaign(campaign_root, netlist=small_benchmark,
+                                  config=campaign_config, n_shards=2)
+        assert outcome.status == "cached"
+        return outcome.spec_hash, assessment
+
+    def test_gc_prunes_shards_of_stored_campaigns(self, campaign_root,
+                                                  small_benchmark,
+                                                  campaign_config):
+        from repro.campaign import gc_campaign_root
+
+        spec_hash, assessment = self._completed_campaign(
+            campaign_root, small_benchmark, campaign_config)
+        paths = CampaignPaths(campaign_root, spec_hash)
+        assert paths.shards_dir.exists()
+        outcome = gc_campaign_root(campaign_root, max_age=10 ** 9,
+                                   prune_shards=True)
+        assert outcome.pruned_shard_dirs == (spec_hash,)
+        assert outcome.pruned_results == ()  # too young to evict
+        assert not paths.shards_dir.exists()
+        # The merged result still serves bit-identically from the store.
+        _assert_assessments_equal(collect_result(campaign_root, spec_hash),
+                                  assessment)
+
+    def test_gc_evicted_campaign_recomputes_identically(self, campaign_root,
+                                                        small_benchmark,
+                                                        campaign_config):
+        from repro.campaign import gc_campaign_root
+
+        spec_hash, assessment = self._completed_campaign(
+            campaign_root, small_benchmark, campaign_config)
+        outcome = gc_campaign_root(campaign_root, prune_shards=True)
+        assert outcome.pruned_results == (spec_hash,)
+        # Re-running the identical campaign rebuilds the identical result.
+        again = run_campaign(campaign_root, small_benchmark,
+                             campaign_config, n_shards=2, n_workers=1)
+        _assert_assessments_equal(again, assessment)
+
+    def test_gc_dry_run_touches_nothing(self, campaign_root,
+                                        small_benchmark, campaign_config):
+        from repro.campaign import gc_campaign_root
+
+        spec_hash, _ = self._completed_campaign(campaign_root,
+                                                small_benchmark,
+                                                campaign_config)
+        paths = CampaignPaths(campaign_root, spec_hash)
+        outcome = gc_campaign_root(campaign_root, prune_shards=True,
+                                   dry_run=True)
+        assert outcome.dry_run
+        assert outcome.pruned_results == (spec_hash,)
+        assert outcome.pruned_shard_dirs == (spec_hash,)
+        assert paths.shards_dir.exists()
+        assert collect_result(campaign_root, spec_hash) is not None
+
+    def test_cli_gc(self, campaign_root, capsys, small_benchmark,
+                    campaign_config):
+        spec_hash, _ = self._completed_campaign(campaign_root,
+                                                small_benchmark,
+                                                campaign_config)
+        capsys.readouterr()
+        assert cli_main(["gc", "--root", str(campaign_root),
+                         "--max-age-days", "30", "--shards",
+                         "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would evict 0 result(s)" in out
+        assert spec_hash[:12] in out  # the shards line
+        assert cli_main(["gc", "--root", str(campaign_root), "--all"]) == 0
+        assert "evicted 1 result(s)" in capsys.readouterr().out
+        assert not campaign_status(campaign_root, spec_hash).complete

@@ -2,7 +2,9 @@
 
 Kept as a plain ``setup.py`` (no wheel/pyproject machinery required in the
 reproduction container); ``pip install -e .`` exposes the ``repro``
-package and the ``polaris-campaign`` campaign-orchestration CLI.
+package, the ``polaris-campaign`` campaign-orchestration CLI and the
+``polaris-lint`` static-analysis CLI (also runnable without installing as
+``python tools/polaris_lint``).
 """
 from setuptools import find_packages, setup
 
@@ -12,13 +14,14 @@ setup(
     description=("Reproduction of POLARIS: XAI-guided power side-channel "
                  "leakage mitigation (DAC 2025), with distributed TVLA "
                  "campaign orchestration"),
-    package_dir={"": "src"},
-    packages=find_packages("src"),
+    package_dir={"": "src", "polaris_lint": "tools/polaris_lint"},
+    packages=find_packages("src") + ["polaris_lint", "polaris_lint.rules"],
     python_requires=">=3.10",
     install_requires=["numpy", "scipy", "networkx"],
     entry_points={
         "console_scripts": [
             "polaris-campaign = repro.campaign.cli:main",
+            "polaris-lint = polaris_lint.cli:main",
         ],
     },
 )

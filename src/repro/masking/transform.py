@@ -104,6 +104,7 @@ def apply_masking(
         attributes = dict(gate.attributes)
         attributes["masked_from"] = original_type.value
         attributes["protection_style"] = protection_style
+        # polaris-lint: disable=PL006 exact-default check on a pass-through config knob, never a computed float
         if overhead_scale != 1.0:
             attributes["overhead_scale"] = overhead_scale
         # Inverting variants (NAND/NOR/XNOR) fold the inversion into the

@@ -121,6 +121,7 @@ class GradientBoostingClassifier(BaseClassifier):
 
     def decision_function(self, features: np.ndarray) -> np.ndarray:
         """Raw additive score (log-odds of the positive class)."""
+        # polaris-lint: disable=PL006 not-fitted sentinel: 0.0 is set verbatim in __init__ and only replaced by fit()
         if self.initial_score_ == 0.0 and not self.estimators_ and self.classes_.size == 0:
             raise NotFittedError("GradientBoostingClassifier is not fitted")
         features = check_features(features)

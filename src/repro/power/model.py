@@ -16,6 +16,7 @@ mechanism by which masking reduces power side-channel leakage.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -32,6 +33,13 @@ from ..netlist.netlist import Gate
 #: rebuilds its generator.  Cached tables are returned read-only and
 #: shared; consumers copy (or ``astype``) before deriving from them.
 _TOGGLE_TABLE_CACHE: Dict[Tuple[type, GateType, bool], np.ndarray] = {}
+
+#: Serialises cache fills: thread-backend shards construct their trace
+#: generators concurrently, and an unguarded check-then-build would let two
+#: threads enumerate (and publish) the same table.  Duplicate work is only
+#: the benign half of that race — callers compare tables by identity in
+#: tests, and a torn publish under free-threaded builds is not.
+_TOGGLE_TABLE_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -385,7 +393,24 @@ class GatePowerModel:
         cache_key = (type(self), gate_type, bool(reuse_masks))
         cached = _TOGGLE_TABLE_CACHE.get(cache_key)
         if cached is not None:
+            if cached.flags.writeable:
+                raise RuntimeError(
+                    f"cached toggle table for {cache_key!r} became writable; "
+                    f"a consumer must have flipped its write flag instead of "
+                    f"copying before mutation")
             return cached
+        with _TOGGLE_TABLE_LOCK:
+            cached = _TOGGLE_TABLE_CACHE.get(cache_key)
+            if cached is not None:
+                return cached
+            table = self._build_toggle_table(gate_type, reuse_masks)
+            table.setflags(write=False)
+            _TOGGLE_TABLE_CACHE[cache_key] = table
+        return table
+
+    def _build_toggle_table(self, gate_type: GateType,
+                            reuse_masks: bool) -> np.ndarray:
+        """Enumerate the toggle table (no caching; see the public method)."""
         mask_bits = 3 if reuse_masks else 6
         n_mask = 1 << mask_bits
         index = np.arange(16 * n_mask)
@@ -411,10 +436,7 @@ class GatePowerModel:
         toggles = np.zeros(index.shape, dtype=np.uint8)
         for name in nodes_cur:
             toggles += np.logical_xor(nodes_prev[name], nodes_cur[name])
-        table = toggles.reshape(16, n_mask)
-        table.setflags(write=False)
-        _TOGGLE_TABLE_CACHE[cache_key] = table
-        return table
+        return toggles.reshape(16, n_mask)
 
     def noise_sigma_abs(self) -> float:
         """Absolute noise standard deviation (in switching-energy units)."""

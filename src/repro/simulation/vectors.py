@@ -65,12 +65,31 @@ class TraceCampaign:
                              self.current[start:stop], self.input_names)
 
 
+#: Fallback seed of :func:`random_vectors` when no generator is injected.
+#: Stimulus generation must never be silently nondeterministic: an unseeded
+#: ``default_rng()`` here once made "random"-group traces unreproducible
+#: whenever a caller forgot to pass ``rng`` (polaris-lint PL001's first
+#: real catch).
+_DEFAULT_STIMULUS_SEED = 0x51A7
+
+
 def random_vectors(n_vectors: int, n_bits: int,
                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    """Uniformly random boolean matrix of shape ``(n_vectors, n_bits)``."""
+    """Uniformly random boolean matrix of shape ``(n_vectors, n_bits)``.
+
+    Args:
+        n_vectors: Number of rows (stimulus vectors).
+        n_bits: Number of columns (input bits).
+        rng: Generator for the draws.  The TVLA campaign builders always
+            inject their seeded generator; without one the draws come from
+            a **fixed** seed (:data:`_DEFAULT_STIMULUS_SEED`) rather than
+            OS entropy, so repeated bare calls return the same matrix —
+            deterministic by default, never silently irreproducible.
+    """
     if n_vectors < 1 or n_bits < 1:
         raise ValueError("n_vectors and n_bits must be >= 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(
+        _DEFAULT_STIMULUS_SEED)
     return rng.integers(0, 2, size=(n_vectors, n_bits), dtype=np.uint8).astype(bool)
 
 

@@ -323,3 +323,40 @@ class TestPackedSubstrate:
                                             reuse_masks=True)
         assert reuse.shape == (16, 8)
         assert table_a.shape == (16, 64)
+
+    def test_masked_toggle_table_concurrent_fill_single_instance(self):
+        import threading
+
+        from repro.netlist import GateType
+        from repro.power import model as model_module
+
+        key = (GatePowerModel, GateType.MASKED_XOR, False)
+        model_module._TOGGLE_TABLE_CACHE.pop(key, None)
+        barrier = threading.Barrier(8)
+        tables = []
+
+        def fill():
+            barrier.wait()
+            tables.append(
+                GatePowerModel(seed=7).masked_toggle_table(GateType.MASKED_XOR))
+
+        threads = [threading.Thread(target=fill) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tables) == 8
+        assert all(table is tables[0] for table in tables)
+        assert not tables[0].flags.writeable
+
+    def test_masked_toggle_table_detects_corrupted_cache(self):
+        from repro.netlist import GateType
+
+        model = GatePowerModel(seed=3)
+        table = model.masked_toggle_table(GateType.MASKED_AND)
+        table.setflags(write=True)
+        try:
+            with pytest.raises(RuntimeError, match="became writable"):
+                model.masked_toggle_table(GateType.MASKED_AND)
+        finally:
+            table.setflags(write=False)

@@ -1,0 +1,665 @@
+"""Unit tests of the ``polaris-lint`` static-analysis engine.
+
+Every rule (PL001-PL006) is exercised with a failing fixture **and** a
+passing fixture, plus the engine-level contracts: inline suppressions
+require a written justification, PL000 meta-findings are not suppressible,
+and the JSON document shape is stable for CI consumption.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+from polaris_lint import RULES, Severity, lint_paths  # noqa: E402
+from polaris_lint import rules as _rules  # noqa: E402,F401  (registers rules)
+from polaris_lint.cli import main as cli_main  # noqa: E402
+
+
+def run_lint(tmp_path, files, rule_ids=None, paths=None):
+    """Write ``files`` (rel path -> source) under ``tmp_path`` and lint."""
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    lint_targets = paths if paths is not None else sorted(files)
+    return lint_paths(tmp_path, lint_targets, rule_ids=rule_ids)
+
+
+def codes(result):
+    return [finding.rule for finding in result.findings]
+
+
+# ----------------------------------------------------------------------
+# Engine basics
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_registry_has_all_six_rules(self):
+        assert set(RULES) == {"PL001", "PL002", "PL003", "PL004",
+                              "PL005", "PL006"}
+        for rule_cls in RULES.values():
+            assert rule_cls.title
+            assert rule_cls.severity in (Severity.ERROR, Severity.WARNING)
+
+    def test_unparsable_file_is_a_meta_error(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": "def broken(:\n"},
+                          rule_ids=["PL001"])
+        assert codes(result) == ["PL000"]
+        assert "does not parse" in result.findings[0].message
+        assert not result.clean
+
+    def test_clean_file_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"ok.py": "x = 1\n"},
+                          rule_ids=["PL001", "PL006"])
+        assert result.clean
+        assert result.files_checked == 1
+
+    def test_json_document_shape(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\nrng = np.random.default_rng()\n"},
+            rule_ids=["PL001"])
+        doc = result.as_dict()
+        assert set(doc) == {"tool", "files_checked", "suppressed",
+                            "counts", "clean", "findings"}
+        assert doc["tool"] == "polaris-lint"
+        assert doc["counts"] == {"error": 1, "warning": 0}
+        assert doc["clean"] is False
+        (finding,) = doc["findings"]
+        assert set(finding) == {"rule", "severity", "path", "line",
+                                "col", "message"}
+        assert finding["rule"] == "PL001"
+        assert finding["path"] == "src/repro/mod.py"
+        json.dumps(doc)  # must be serialisable as-is
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_trailing_suppression_with_reason_is_honoured(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\n"
+             "rng = np.random.default_rng()"
+             "  # polaris-lint: disable=PL001 test stub, determinism n/a\n"},
+            rule_ids=["PL001"])
+        assert result.clean
+        assert result.suppressed == 1
+        assert result.suppression_reasons == {
+            "PL001": ["src/repro/mod.py:2"]}
+
+    def test_comment_only_line_covers_the_next_line(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\n"
+             "# polaris-lint: disable=PL001 test stub, determinism n/a\n"
+             "rng = np.random.default_rng()\n"},
+            rule_ids=["PL001"])
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_suppression_without_reason_is_an_error(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\n"
+             "rng = np.random.default_rng()  # polaris-lint: disable=PL001\n"},
+            rule_ids=["PL001"])
+        # The PL001 finding is NOT silenced and the bare suppression is
+        # itself a PL000 error.
+        assert sorted(codes(result)) == ["PL000", "PL001"]
+        meta = next(f for f in result.findings if f.rule == "PL000")
+        assert "no written justification" in meta.message
+
+    def test_malformed_suppression_is_an_error(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py": "x = 1  # polaris-lint: plzignore\n"},
+            rule_ids=["PL006"])
+        assert codes(result) == ["PL000"]
+        assert "malformed" in result.findings[0].message
+
+    def test_unknown_rule_in_suppression_is_an_error(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py": "x = 1  # polaris-lint: disable=PL999 because\n"},
+            rule_ids=["PL006"])
+        assert codes(result) == ["PL000"]
+        assert "unknown rule PL999" in result.findings[0].message
+
+    def test_meta_findings_are_not_suppressible(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "# polaris-lint: disable=PL000 nice try\n"
+             "x = 1  # polaris-lint: disable=PL006\n"},
+            rule_ids=["PL006"])
+        # Line 2's bare suppression stays an error even though line 1
+        # "covers" it with a PL000 disable.
+        assert codes(result) == ["PL000"]
+
+    def test_suppression_only_silences_named_codes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\n"
+             "# polaris-lint: disable=PL006 wrong code on purpose\n"
+             "rng = np.random.default_rng()\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001"]
+        assert result.suppressed == 0
+
+    def test_prose_mentioning_the_tool_is_not_a_suppression(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py": "x = 1  # see polaris-lint docs for the rule table\n"},
+            rule_ids=["PL006"])
+        assert result.clean
+
+
+# ----------------------------------------------------------------------
+# PL001 — RNG discipline
+# ----------------------------------------------------------------------
+class TestPL001Rng:
+    def test_unseeded_default_rng_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\nrng = np.random.default_rng()\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001"]
+        assert "unseeded" in result.findings[0].message
+
+    def test_default_rng_with_literal_none_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\nrng = np.random.default_rng(None)\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001"]
+
+    def test_seeded_default_rng_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\n"
+             "rng = np.random.default_rng(1234)\n"
+             "seq = np.random.SeedSequence(7)\n"
+             "child = np.random.default_rng(seq.spawn(1)[0])\n"},
+            rule_ids=["PL001"])
+        assert result.clean
+
+    def test_global_state_api_is_flagged_everywhere(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"tools/helper.py":
+             "import numpy as np\nnp.random.seed(0)\n"
+             "x = np.random.rand(4)\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001", "PL001"]
+        assert "global RNG state" in result.findings[0].message
+
+    def test_aliased_global_state_attribute_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\nshuffler = np.random.shuffle\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001"]
+
+    def test_stdlib_random_banned_only_in_src_repro(self, tmp_path):
+        banned = run_lint(
+            tmp_path,
+            {"src/repro/mod.py": "import random\nx = random.random()\n"},
+            rule_ids=["PL001"])
+        assert "PL001" in codes(banned)
+        tolerated = run_lint(
+            tmp_path,
+            {"tools/helper.py": "import random\nx = random.random()\n"},
+            rule_ids=["PL001"])
+        assert tolerated.clean
+
+    def test_from_random_import_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py": "from random import choice\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001"]
+
+
+# ----------------------------------------------------------------------
+# PL002 — oracle pairing (cross-file)
+# ----------------------------------------------------------------------
+def _oracle_repo_files(tmp_path):
+    """A miniature repo satisfying every registered oracle pair."""
+    return {
+        "src/repro/tvla/moments.py":
+            "class OnePassMoments:\n"
+            "    def update_batch(self):\n"
+            "        pass\n"
+            "    def update_batch_naive(self):\n"
+            "        pass\n",
+        "src/repro/power/traces.py":
+            "POWER_BACKENDS = ('packed', 'unpacked')\n"
+            "class TraceEngine:\n"
+            "    def generate(self):\n"
+            "        pass\n"
+            "    def generate_loop(self):\n"
+            "        pass\n",
+        "src/repro/simulation/simulator.py":
+            "SIM_BACKENDS = ('compiled', 'loop')\n",
+        "tests/test_oracles.py":
+            "# references: update_batch update_batch_naive packed unpacked\n"
+            "# compiled loop generate generate_loop\n",
+    }
+
+
+class TestPL002Oracle:
+    def test_complete_pairs_pass(self, tmp_path):
+        result = run_lint(tmp_path, _oracle_repo_files(tmp_path),
+                          rule_ids=["PL002"], paths=["src"])
+        assert result.clean
+
+    def test_missing_module_is_flagged(self, tmp_path):
+        files = _oracle_repo_files(tmp_path)
+        del files["src/repro/simulation/simulator.py"]
+        result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
+        assert codes(result) == ["PL002"]
+        assert "missing or unparsable" in result.findings[0].message
+
+    def test_dropped_oracle_symbol_is_flagged(self, tmp_path):
+        files = _oracle_repo_files(tmp_path)
+        files["src/repro/tvla/moments.py"] = (
+            "class OnePassMoments:\n"
+            "    def update_batch(self):\n"
+            "        pass\n")
+        result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
+        assert codes(result) == ["PL002"]
+        assert "'update_batch_naive' no longer exists" \
+            in result.findings[0].message
+
+    def test_dropped_selector_string_is_flagged(self, tmp_path):
+        files = _oracle_repo_files(tmp_path)
+        files["src/repro/simulation/simulator.py"] = (
+            "SIM_BACKENDS = ('compiled',)\n")
+        result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
+        assert codes(result) == ["PL002"]
+        assert "selector string 'loop'" in result.findings[0].message
+
+    def test_untested_pair_is_flagged(self, tmp_path):
+        files = _oracle_repo_files(tmp_path)
+        files["tests/test_oracles.py"] = (
+            "# references: update_batch update_batch_naive packed unpacked\n"
+            "# compiled loop generate\n")  # generate_loop dropped
+        result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
+        assert codes(result) == ["PL002"]
+        assert "untested" in result.findings[0].message
+
+    def test_word_boundary_no_substring_credit(self, tmp_path):
+        # 'generate_loop' alone must not satisfy the 'generate' side.
+        files = _oracle_repo_files(tmp_path)
+        files["tests/test_oracles.py"] = (
+            "# references: update_batch update_batch_naive packed unpacked\n"
+            "# compiled loop generate_loop\n")
+        result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
+        assert codes(result) == ["PL002"]
+
+    def test_real_repo_satisfies_every_pair(self):
+        result = lint_paths(REPO_ROOT, ["src"], rule_ids=["PL002"])
+        assert result.clean, [f.render() for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# PL003 — buffer safety
+# ----------------------------------------------------------------------
+class TestPL003Buffers:
+    def test_unfrozen_cache_store_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import numpy as np\n"
+             "_TABLE_CACHE = {}\n"
+             "def build(key):\n"
+             "    table = np.zeros(4)\n"
+             "    _TABLE_CACHE[key] = table\n"
+             "    return table\n"},
+            rule_ids=["PL003"])
+        assert codes(result) == ["PL003"]
+        assert "without setflags(write=False)" in result.findings[0].message
+
+    def test_frozen_cache_store_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import numpy as np\n"
+             "_TABLE_CACHE = {}\n"
+             "def build(key):\n"
+             "    table = np.zeros(4)\n"
+             "    table.setflags(write=False)\n"
+             "    _TABLE_CACHE[key] = table\n"
+             "    return table\n"},
+            rule_ids=["PL003"])
+        assert result.clean
+
+    def test_anonymous_cache_store_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import numpy as np\n"
+             "_TABLE_CACHE = {}\n"
+             "def build(key):\n"
+             "    _TABLE_CACHE[key] = np.zeros(4)\n"},
+            rule_ids=["PL003"])
+        assert codes(result) == ["PL003"]
+
+    def test_module_level_table_must_be_frozen(self, tmp_path):
+        flagged = run_lint(
+            tmp_path,
+            {"mod.py": "import numpy as np\nTABLE = np.arange(16)\n"},
+            rule_ids=["PL003"])
+        assert codes(flagged) == ["PL003"]
+        frozen = run_lint(
+            tmp_path,
+            {"ok.py":
+             "import numpy as np\n"
+             "TABLE = np.arange(16)\n"
+             "TABLE.setflags(write=False)\n"},
+            rule_ids=["PL003"], paths=["ok.py"])
+        assert frozen.clean
+
+    def test_parameter_mutation_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "def scale(values, factor):\n"
+             "    values *= factor\n"
+             "    return values\n"},
+            rule_ids=["PL003"])
+        assert codes(result) == ["PL003"]
+        assert "caller-owned parameter" in result.findings[0].message
+
+    def test_mutation_after_copy_rebind_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "def scale(values, factor):\n"
+             "    values = values.copy()\n"
+             "    values *= factor\n"
+             "    return values\n"},
+            rule_ids=["PL003"])
+        assert result.clean
+
+    def test_documented_or_named_mutation_contracts_pass(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "def scale_inplace(values, factor):\n"
+             "    values *= factor\n"
+             "\n"
+             "def accumulate(total, out):\n"
+             "    out[0] = total\n"
+             "\n"
+             "def normalise(values):\n"
+             "    \"\"\"Normalise ``values`` in place.\"\"\"\n"
+             "    values /= 2\n"},
+            rule_ids=["PL003"])
+        assert result.clean
+
+    def test_out_kwarg_on_parameter_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import numpy as np\n"
+             "def accumulate(values, extra):\n"
+             "    np.add(values, extra, out=values)\n"},
+            rule_ids=["PL003"])
+        assert codes(result) == ["PL003"]
+
+
+# ----------------------------------------------------------------------
+# PL004 — pickle hygiene
+# ----------------------------------------------------------------------
+class TestPL004Pickle:
+    def test_scratch_attr_without_getstate_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "class Worker:\n"
+             "    def __init__(self):\n"
+             "        self._scratch_buffers = []\n"},
+            rule_ids=["PL004"])
+        assert codes(result) == ["PL004"]
+        assert "no __getstate__" in result.findings[0].message
+
+    def test_getstate_not_mentioning_scratch_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "class Worker:\n"
+             "    def __init__(self):\n"
+             "        self._scratch_buffers = []\n"
+             "    def __getstate__(self):\n"
+             "        return dict(self.__dict__)\n"},
+            rule_ids=["PL004"])
+        assert codes(result) == ["PL004"]
+        assert "_scratch_buffers" in result.findings[0].message
+
+    def test_getstate_excluding_scratch_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "class Worker:\n"
+             "    def __init__(self):\n"
+             "        self._scratch_buffers = []\n"
+             "    def __getstate__(self):\n"
+             "        state = dict(self.__dict__)\n"
+             "        state['_scratch_buffers'] = []\n"
+             "        return state\n"},
+            rule_ids=["PL004"])
+        assert result.clean
+
+    def test_registry_class_is_checked_by_name(self, tmp_path):
+        # OnePassMoments is in PICKLE_SEAM_CLASSES: its registered
+        # attribute is enforced even without 'scratch' fuzzy-matching.
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "class OnePassMoments:\n"
+             "    def __init__(self):\n"
+             "        self._batch_scratch = [None, None]\n"},
+            rule_ids=["PL004"])
+        assert codes(result) == ["PL004"]
+
+    def test_class_without_scratch_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "class Plain:\n"
+             "    def __init__(self):\n"
+             "        self.value = 1\n"},
+            rule_ids=["PL004"])
+        assert result.clean
+
+
+# ----------------------------------------------------------------------
+# PL005 — resource lifecycle
+# ----------------------------------------------------------------------
+class TestPL005Resources:
+    def test_leaked_executor_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "from concurrent.futures import ThreadPoolExecutor\n"
+             "def run():\n"
+             "    pool = ThreadPoolExecutor(max_workers=2)\n"
+             "    return pool.submit(print)\n"},
+            rule_ids=["PL005"])
+        assert codes(result) == ["PL005"]
+        assert "without a guaranteed release" in result.findings[0].message
+
+    def test_with_block_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "from concurrent.futures import ThreadPoolExecutor\n"
+             "def run():\n"
+             "    with ThreadPoolExecutor(max_workers=2) as pool:\n"
+             "        return pool.submit(print).result()\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_closing_wrapper_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import sqlite3\n"
+             "from contextlib import closing\n"
+             "def query(path):\n"
+             "    with closing(sqlite3.connect(path)) as conn:\n"
+             "        return conn.execute('select 1').fetchone()\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_try_finally_close_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import sqlite3\n"
+             "def query(path):\n"
+             "    conn = sqlite3.connect(path)\n"
+             "    try:\n"
+             "        return conn.execute('select 1').fetchone()\n"
+             "    finally:\n"
+             "        conn.close()\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_ownership_transfer_by_return_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "from concurrent.futures import ProcessPoolExecutor\n"
+             "def make_pool(n):\n"
+             "    return ProcessPoolExecutor(max_workers=n)\n"
+             "def make_pool_tuple(n):\n"
+             "    return ProcessPoolExecutor(max_workers=n), True\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_self_attribute_ownership_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import sqlite3\n"
+             "class Store:\n"
+             "    def __init__(self, path):\n"
+             "        self._conn = sqlite3.connect(path)\n"
+             "    def close(self):\n"
+             "        self._conn.close()\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_unreleased_sqlite_connection_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import sqlite3\n"
+             "def query(path):\n"
+             "    conn = sqlite3.connect(path)\n"
+             "    return conn.execute('select 1').fetchone()\n"},
+            rule_ids=["PL005"])
+        assert codes(result) == ["PL005"]
+
+
+# ----------------------------------------------------------------------
+# PL006 — float equality
+# ----------------------------------------------------------------------
+class TestPL006FloatEquality:
+    def test_float_literal_equality_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "def check(x):\n"
+             "    return x == 1.5 or x != -2.5\n"},
+            rule_ids=["PL006"])
+        assert codes(result) == ["PL006", "PL006"]
+
+    def test_float_reduction_equality_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "def check(a, b):\n"
+             "    return a.mean() == b.mean()\n"},
+            rule_ids=["PL006"])
+        assert codes(result) == ["PL006"]
+
+    def test_integer_and_ordering_comparisons_pass(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "def check(x, a):\n"
+             "    return x == 1 and x >= 1.5 and a.mean() > 0.0\n"},
+            rule_ids=["PL006"])
+        assert result.clean
+
+    def test_justified_suppression_silences_sentinel(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "def record(scale):\n"
+             "    # polaris-lint: disable=PL006 exact default sentinel\n"
+             "    if scale != 1.0:\n"
+             "        return scale\n"},
+            rule_ids=["PL006"])
+        assert result.clean
+        assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("PL001", "PL002", "PL003", "PL004", "PL005",
+                        "PL006"):
+            assert rule_id in out
+
+    def test_unknown_rule_id_exits_2(self, capsys):
+        assert cli_main(["--rules", "PL042", "--root",
+                         str(REPO_ROOT)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_failing_path_exits_1_with_findings(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\n"
+                       "rng = np.random.default_rng()\n", encoding="utf-8")
+        code = cli_main([str(bad), "--root", str(tmp_path),
+                         "--rules", "PL001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "PL001" in out and "FAILED" in out
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        code = cli_main([str(good), "--root", str(tmp_path),
+                         "--format", "json", "--rules", "PL006"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["clean"] is True
+        assert doc["tool"] == "polaris-lint"

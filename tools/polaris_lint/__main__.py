@@ -1,0 +1,18 @@
+"""Run the linter from a checkout: ``python tools/polaris_lint [...]``.
+
+Python executes a directory by putting *it* on ``sys.path`` and running
+``__main__.py``; the package itself then is not importable, so add the
+parent (``tools/``) and import properly.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS_DIR = str(Path(__file__).resolve().parent.parent)
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from polaris_lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

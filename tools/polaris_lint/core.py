@@ -1,0 +1,415 @@
+"""Core engine of ``polaris-lint``: files, rules, suppressions, findings.
+
+The linter is a thin, dependency-free AST pass over the repository's own
+source: each :class:`FileRule` is an :class:`ast.NodeVisitor` that walks one
+parsed module, each :class:`ProjectRule` sees every linted module at once
+(for cross-file contracts such as oracle pairing), and the engine applies
+inline suppressions before reporting.
+
+Suppressions are deliberately strict: ``# polaris-lint: disable=PL003
+<reason>`` silences matching findings on its line (or, for a comment-only
+line, the line below), but a suppression **without a written justification
+is itself an error** (PL000) — the whole point of the tool is that every
+deviation from a repo invariant carries its rationale in the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+
+#: Rule id of the linter's own meta-findings (unparsable file, malformed or
+#: unjustified suppression).  Not suppressible.
+META_RULE = "PL000"
+
+
+class Severity(str, Enum):
+    """Finding severity; both levels fail the lint (CI gates on any)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """Human one-liner, ``path:line:col: PLxxx [severity] message``."""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.severity.value}] {self.message}")
+
+
+#: A comment that is *trying* to talk to the linter (used to distinguish
+#: malformed suppressions from prose that merely mentions the tool).
+_SUPPRESS_ATTEMPT_RE = re.compile(r"^#\s*polaris-lint\b")
+#: ``# polaris-lint: disable=PL001,PL003 <justification>``
+_SUPPRESS_RE = re.compile(
+    r"#\s*polaris-lint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"(?:\s+(?P<reason>\S.*?))?\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """An inline suppression comment, already bound to the line it covers."""
+
+    codes: Tuple[str, ...]
+    reason: str
+    comment_line: int
+    target_line: int
+
+
+class SourceFile:
+    """One parsed module plus everything rules need to inspect it."""
+
+    def __init__(self, path: Path, rel_path: str, text: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        self.suppressions: List[Suppression] = []
+        self.malformed_suppressions: List[Tuple[int, str]] = []
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        self._imports: Dict[str, str] = {}
+        try:
+            self.tree = ast.parse(text, filename=rel_path)
+        except SyntaxError as exc:
+            self.parse_error = exc
+            return
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._collect_imports()
+        self._collect_suppressions()
+
+    # ------------------------------------------------------------------
+    def _collect_imports(self) -> None:
+        """Map local names to the fully dotted module paths they import.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+        import default_rng as mk`` maps ``mk -> numpy.random.default_rng``.
+        Only module-level and function-level plain imports are tracked —
+        enough to resolve the idioms the rules care about.
+        """
+        assert self.tree is not None
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    def _collect_suppressions(self) -> None:
+        """Parse suppression comments with :mod:`tokenize` (never strings)."""
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            comments = [(tok.start[0], tok.start[1], tok.string)
+                        for tok in tokens if tok.type == tokenize.COMMENT]
+        except tokenize.TokenError:
+            return
+        for line, col, comment in comments:
+            if not _SUPPRESS_ATTEMPT_RE.match(comment):
+                continue
+            match = _SUPPRESS_RE.match(comment)
+            if match is None:
+                self.malformed_suppressions.append(
+                    (line, "malformed polaris-lint suppression comment "
+                           "(expected '# polaris-lint: disable=PLxxx "
+                           "<justification>')"))
+                continue
+            codes = tuple(code.strip()
+                          for code in match.group(1).split(","))
+            reason = (match.group("reason") or "").strip()
+            if not reason:
+                self.malformed_suppressions.append(
+                    (line, f"suppression of {', '.join(codes)} has no "
+                           f"written justification"))
+                continue
+            # A comment-only line covers the next line; a trailing comment
+            # covers its own.
+            comment_only = self.lines[line - 1][:col].strip() == ""
+            target = line + 1 if comment_only else line
+            self.suppressions.append(
+                Suppression(codes=codes, reason=reason,
+                            comment_line=line, target_line=target))
+
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def resolve_dotted(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified dotted name of a Name/Attribute chain, or None.
+
+        Import aliases are expanded: with ``import numpy as np``, the
+        expression ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng``.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self._imports.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+class Project:
+    """All linted files plus the repo context cross-file rules need."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile]) -> None:
+        self.root = root
+        self.files = list(files)
+        self._by_rel = {f.rel_path: f for f in self.files}
+        self._test_texts: Optional[Dict[str, str]] = None
+
+    def file(self, rel_path: str) -> Optional[SourceFile]:
+        """The linted file at ``rel_path``, loading it on demand if absent.
+
+        Cross-file rules may reference modules outside the linted path set
+        (e.g. linting only ``tools`` must still see the oracle registry's
+        ``src`` modules); those are parsed lazily from the project root.
+        """
+        found = self._by_rel.get(rel_path)
+        if found is not None:
+            return found
+        candidate = self.root / rel_path
+        if not candidate.is_file():
+            return None
+        loaded = SourceFile(candidate, rel_path,
+                            candidate.read_text(encoding="utf-8"))
+        self._by_rel[rel_path] = loaded
+        return loaded
+
+    def test_texts(self) -> Dict[str, str]:
+        """``rel_path -> source text`` of every module under ``tests/``."""
+        if self._test_texts is None:
+            self._test_texts = {}
+            tests_dir = self.root / "tests"
+            if tests_dir.is_dir():
+                for path in sorted(tests_dir.rglob("*.py")):
+                    rel = path.relative_to(self.root).as_posix()
+                    self._test_texts[rel] = path.read_text(encoding="utf-8")
+        return self._test_texts
+
+
+# ----------------------------------------------------------------------
+# Rule framework
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: a rule id, a severity, and a one-line contract."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    title: str = ""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+
+    def report(self, file: SourceFile, node_or_line: Union[ast.AST, int],
+               message: str, col: int = 0) -> None:
+        """Record one finding against ``file``."""
+        if isinstance(node_or_line, ast.AST):
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0)
+        else:
+            line = node_or_line
+        self.findings.append(Finding(rule=self.rule_id, severity=self.severity,
+                                     path=file.rel_path, line=line, col=col,
+                                     message=message))
+
+
+class FileRule(Rule, ast.NodeVisitor):
+    """A rule that inspects one module at a time (the common case)."""
+
+    def run(self, file: SourceFile) -> List[Finding]:
+        """Visit ``file`` and return its findings."""
+        self.findings = []
+        self.file = file
+        if file.tree is not None:
+            self.visit(file.tree)
+        return self.findings
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole project (cross-file contracts)."""
+
+    def run_project(self, project: Project) -> List[Finding]:
+        raise NotImplementedError
+
+
+#: Registered rule classes by id, in registration order.
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id or cls.rule_id in RULES:
+        raise ValueError(f"rule id {cls.rule_id!r} is empty or duplicated")
+    RULES[cls.rule_id] = cls
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    suppression_reasons: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings
+                   if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings
+                   if f.severity is Severity.WARNING)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        """JSON document shape consumed by CI and the test-suite."""
+        return {
+            "tool": "polaris-lint",
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "counts": {"error": self.errors, "warning": self.warnings},
+            "clean": self.clean,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def collect_files(root: Path, paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories to the sorted list of ``.py`` files."""
+    seen = {}
+    for entry in paths:
+        path = Path(entry)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file() and path.suffix == ".py":
+            seen[path.resolve()] = None
+        elif path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                if "__pycache__" in found.parts or any(
+                        part.startswith(".") for part in found.parts):
+                    continue
+                seen[found.resolve()] = None
+    return list(seen)
+
+
+def lint_paths(root: Union[str, Path],
+               paths: Sequence[Union[str, Path]],
+               rule_ids: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint ``paths`` (files or directories) relative to ``root``.
+
+    Returns a :class:`LintResult`; ``result.clean`` is the CI gate.
+    """
+    root = Path(root).resolve()
+    files: List[SourceFile] = []
+    for path in collect_files(root, paths):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        files.append(SourceFile(path, rel, path.read_text(encoding="utf-8")))
+
+    project = Project(root, files)
+    selected = ([RULES[rule_id] for rule_id in rule_ids]
+                if rule_ids is not None else list(RULES.values()))
+
+    raw: List[Finding] = []
+    for file in files:
+        if file.parse_error is not None:
+            raw.append(Finding(
+                rule=META_RULE, severity=Severity.ERROR, path=file.rel_path,
+                line=file.parse_error.lineno or 1, col=0,
+                message=f"file does not parse: {file.parse_error.msg}"))
+            continue
+        for line, message in file.malformed_suppressions:
+            raw.append(Finding(rule=META_RULE, severity=Severity.ERROR,
+                               path=file.rel_path, line=line, col=0,
+                               message=message))
+        for suppression in file.suppressions:
+            for code in suppression.codes:
+                if code != META_RULE and code not in RULES:
+                    raw.append(Finding(
+                        rule=META_RULE, severity=Severity.ERROR,
+                        path=file.rel_path, line=suppression.comment_line,
+                        col=0, message=f"suppression names unknown rule "
+                                       f"{code}"))
+        for rule_cls in selected:
+            if issubclass(rule_cls, FileRule):
+                raw.extend(rule_cls().run(file))
+    for rule_cls in selected:
+        if issubclass(rule_cls, ProjectRule):
+            raw.extend(rule_cls().run_project(project))
+
+    # Apply suppressions (PL000 meta-findings are never suppressible).
+    by_path = {file.rel_path: file for file in files}
+    kept: List[Finding] = []
+    suppressed = 0
+    reasons: Dict[str, List[str]] = {}
+    for finding in raw:
+        file = by_path.get(finding.path)
+        if finding.rule != META_RULE and file is not None and any(
+                s.target_line == finding.line and finding.rule in s.codes
+                for s in file.suppressions):
+            suppressed += 1
+            reasons.setdefault(finding.rule, []).append(
+                f"{finding.path}:{finding.line}")
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(findings=kept, files_checked=len(files),
+                      suppressed=suppressed, suppression_reasons=reasons)

@@ -1,0 +1,18 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule ids are stable and documented in ``docs/static-analysis.md``:
+
+========  ========================================================
+PL001     RNG discipline (no unseeded / global randomness)
+PL002     oracle pairing (fast paths keep tested bit-identical oracles)
+PL003     buffer safety (frozen shared arrays, no parameter mutation)
+PL004     pickle hygiene (scratch buffers excluded from the seam)
+PL005     resource lifecycle (close/shutdown on all paths)
+PL006     float equality (tolerances, not ==)
+========  ========================================================
+"""
+
+from . import buffers, floatcmp, oracle, pickle_seam, resources, rng
+
+__all__ = ["buffers", "floatcmp", "oracle", "pickle_seam", "resources",
+           "rng"]

@@ -1,0 +1,207 @@
+"""PL003 — buffer safety.
+
+Arrays that outlive one call must not be silently writable, and arrays a
+caller hands in must not be silently mutated:
+
+* an array stored in a process-wide cache dict (``_*CACHE*`` naming
+  convention, e.g. ``_TOGGLE_TABLE_CACHE``) must be frozen with
+  ``setflags(write=False)`` before the store — cached tables are shared by
+  every thread shard;
+* a module-level numpy array (shared constant table) must be frozen at
+  module level;
+* a function must not mutate an array *parameter* in place (subscript
+  stores, augmented assignment, ``out=param``, mutating methods) unless the
+  function's contract says so — an ``out``-style parameter name, an
+  ``*_inplace`` function name, or a docstring that states the mutation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set
+
+from ..core import FileRule, Severity, register
+
+#: Module/global cache-dict naming convention of the repo.
+_CACHE_NAME_RE = re.compile(r"^_?[A-Z][A-Z0-9_]*CACHE[A-Z0-9_]*$")
+#: numpy constructors whose module-level results are shared tables.
+_NP_CTORS = frozenset({
+    "zeros", "ones", "empty", "full", "arange", "array", "asarray",
+    "ascontiguousarray", "asfortranarray", "frombuffer", "fromiter",
+    "eye", "identity", "linspace", "tile", "concatenate", "stack",
+})
+#: ndarray methods that mutate the receiver.
+_MUTATING_METHODS = frozenset({
+    "fill", "sort", "partition", "put", "resize", "setflags", "itemset",
+})
+#: Parameter names that advertise an output/scratch contract.
+_OUT_PARAM_RE = re.compile(r"^(out|buf|buffer|scratch|dest|workspace)")
+#: Docstring phrases that advertise in-place mutation.
+_INPLACE_DOC_RE = re.compile(r"in[- ]place|\bmutat", re.IGNORECASE)
+
+
+def _shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function/class defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if not isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(current))
+
+
+def _is_freeze_call(node: ast.AST, name: str) -> bool:
+    """Whether ``node`` is ``<name>.setflags(write=False)``."""
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setflags"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name):
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "write" and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is False
+    return bool(node.args and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is False)
+
+
+@register
+class BufferSafetyRule(FileRule):
+    """Shared arrays stay read-only; parameters stay caller-owned."""
+
+    rule_id = "PL003"
+    severity = Severity.WARNING
+    title = "buffer safety: frozen shared arrays, no parameter mutation"
+
+    # ------------------------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        self._check_module_tables(node)
+        self.generic_visit(node)
+
+    def _check_module_tables(self, module: ast.Module) -> None:
+        frozen: Set[str] = set()
+        for stmt in module.body:
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                call = stmt.value
+                if isinstance(call.func, ast.Attribute) \
+                        and call.func.attr == "setflags" \
+                        and isinstance(call.func.value, ast.Name):
+                    frozen.add(call.func.value.id)
+        for stmt in module.body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)):
+                continue
+            dotted = self.file.resolve_dotted(stmt.value.func)
+            if dotted is None or not dotted.startswith("numpy."):
+                continue
+            if dotted.split(".")[-1] not in _NP_CTORS:
+                continue
+            name = stmt.targets[0].id
+            if name not in frozen:
+                self.report(self.file, stmt,
+                            f"module-level array {name!r} is shared by every "
+                            f"importer but stays writable; freeze it with "
+                            f"{name}.setflags(write=False)")
+
+    # ------------------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_cache_stores(node)
+        self._check_parameter_mutation(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check_cache_stores(self, func: ast.FunctionDef) -> None:
+        for stmt in _shallow(func):
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Subscript)):
+                continue
+            base = stmt.targets[0].value
+            if not (isinstance(base, ast.Name)
+                    and _CACHE_NAME_RE.match(base.id)):
+                continue
+            if not isinstance(stmt.value, ast.Name):
+                self.report(self.file, stmt,
+                            f"store into process-wide cache {base.id!r} "
+                            f"must go through a named, frozen array "
+                            f"(call setflags(write=False) before caching)")
+                continue
+            stored = stmt.value.id
+            if not any(_is_freeze_call(other, stored)
+                       for other in _shallow(func)
+                       if getattr(other, "lineno", stmt.lineno) < stmt.lineno):
+                self.report(self.file, stmt,
+                            f"array {stored!r} is cached process-wide in "
+                            f"{base.id!r} without setflags(write=False); a "
+                            f"writable cached table lets one shard corrupt "
+                            f"every other")
+
+    # ------------------------------------------------------------------
+    def _check_parameter_mutation(self, func: ast.FunctionDef) -> None:
+        if "inplace" in func.name.lower() or func.name.endswith("_"):
+            return
+        docstring = ast.get_docstring(func) or ""
+        if _INPLACE_DOC_RE.search(docstring):
+            return
+        args = func.args
+        params = [arg.arg for arg in
+                  args.posonlyargs + args.args + args.kwonlyargs]
+        params = [p for p in params if p not in ("self", "cls")
+                  and not _OUT_PARAM_RE.match(p)]
+        if not params:
+            return
+        param_set = set(params)
+        rebinds = {}
+        for stmt in _shallow(func):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id in param_set:
+                        rebinds.setdefault(target.id, stmt.lineno)
+
+        def owned_by_caller(name: str, line: int) -> bool:
+            return name in param_set and rebinds.get(name, line + 1) > line
+
+        for stmt in _shallow(func):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Subscript) \
+                            and isinstance(target.value, ast.Name) \
+                            and owned_by_caller(target.value.id, stmt.lineno):
+                        self._report_mutation(stmt, func, target.value.id,
+                                              "subscript store into")
+            elif isinstance(stmt, ast.AugAssign):
+                target = stmt.target
+                if isinstance(target, ast.Name) \
+                        and owned_by_caller(target.id, stmt.lineno):
+                    self._report_mutation(stmt, func, target.id,
+                                          "augmented assignment to")
+                elif isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name) \
+                        and owned_by_caller(target.value.id, stmt.lineno):
+                    self._report_mutation(stmt, func, target.value.id,
+                                          "augmented subscript store into")
+            elif isinstance(stmt, ast.Call):
+                for keyword in stmt.keywords:
+                    if keyword.arg == "out" \
+                            and isinstance(keyword.value, ast.Name) \
+                            and owned_by_caller(keyword.value.id, stmt.lineno):
+                        self._report_mutation(stmt, func, keyword.value.id,
+                                              "out= targeting")
+                if isinstance(stmt.func, ast.Attribute) \
+                        and stmt.func.attr in _MUTATING_METHODS \
+                        and isinstance(stmt.func.value, ast.Name) \
+                        and owned_by_caller(stmt.func.value.id, stmt.lineno):
+                    self._report_mutation(stmt, func, stmt.func.value.id,
+                                          f".{stmt.func.attr}() on")
+
+    def _report_mutation(self, node: ast.AST, func: ast.FunctionDef,
+                         param: str, how: str) -> None:
+        self.report(self.file, node,
+                    f"{func.name}() mutates caller-owned parameter "
+                    f"{param!r} ({how} it) without an out=/_inplace "
+                    f"contract; copy first or document the mutation in the "
+                    f"docstring")

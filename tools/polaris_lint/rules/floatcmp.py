@@ -1,0 +1,57 @@
+"""PL006 — float equality.
+
+Exact ``==``/``!=`` against floats is almost always a latent bug in a
+numerical codebase: results that are equal today drift apart with any
+reassociation (chunking, sharding, fused kernels).  The repo's sanctioned
+equality idioms are ``numpy.array_equal`` for the designated bit-identical
+oracle tests and tolerance comparisons (``numpy.allclose``, pytest approx)
+everywhere else.  This rule flags ``==``/``!=`` where an operand is a float
+literal or a call to an obviously float-producing reduction
+(``.mean()``, ``.std()``, ``.var()``, ``.dot()``, ...).  Intentional
+sentinel comparisons (e.g. "is this knob still at its exact default?")
+carry a justified inline suppression instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import FileRule, Severity, register
+
+#: Reductions whose results are floats derived from float arithmetic.
+_FLOAT_REDUCTIONS = frozenset({"mean", "std", "var", "dot", "trace"})
+
+
+def _is_float_operand(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_float_operand(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in _FLOAT_REDUCTIONS:
+        return True
+    return False
+
+
+@register
+class FloatEqualityRule(FileRule):
+    """No exact float ==/!= outside designated oracle-equality tests."""
+
+    rule_id = "PL006"
+    severity = Severity.WARNING
+    title = "float equality: use tolerances or array_equal oracles"
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_operand(left) or _is_float_operand(right):
+                sign = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(self.file, node,
+                            f"exact float {sign} comparison; use a "
+                            f"tolerance (np.allclose / math.isclose) or, "
+                            f"for a bit-identity oracle check, "
+                            f"np.array_equal with a justified suppression")
+                break
+        self.generic_visit(node)

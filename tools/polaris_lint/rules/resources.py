@@ -1,0 +1,103 @@
+"""PL005 — resource lifecycle.
+
+Executors, SQLite connections and shared-memory handles must be released on
+**all** paths: constructed inside a ``with`` (directly or via
+``contextlib.closing``), closed in a ``try``/``finally``, or handed off —
+returned to a caller that owns the lifecycle, or stored on ``self`` where
+the instance's own shutdown path takes over.  Anything else leaks worker
+processes, database handles or shared segments when an exception unwinds —
+exactly the failure PR 4 fixed for raised-in-shard campaigns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..contracts import RESOURCE_CONSTRUCTORS
+from ..core import FileRule, Severity, register
+
+_CLOSE_METHODS = frozenset({"close", "shutdown", "terminate", "unlink"})
+
+
+@register
+class ResourceLifecycleRule(FileRule):
+    """Every acquired executor/connection/segment has a release path."""
+
+    rule_id = "PL005"
+    severity = Severity.WARNING
+    title = "resource lifecycle: close/shutdown on all paths"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.file.resolve_dotted(node.func)
+        if dotted is not None and self._is_resource(dotted):
+            if not self._has_release_path(node):
+                kind = dotted.split(".")[-1]
+                self.report(self.file, node,
+                            f"{kind} is acquired without a guaranteed "
+                            f"release: use a 'with' block (or contextlib."
+                            f"closing), a try/finally close/shutdown, or "
+                            f"transfer ownership by returning it")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_resource(dotted: str) -> bool:
+        return any(dotted == known or dotted.endswith("." + known)
+                   or known.endswith("." + dotted)
+                   for known in RESOURCE_CONSTRUCTORS)
+
+    def _has_release_path(self, node: ast.Call) -> bool:
+        parent = self.file.parent(node)
+        # closing(<ctor>()) — unwrap and re-check the wrapper call.
+        if isinstance(parent, ast.Call) and parent.func is not node:
+            dotted = self.file.resolve_dotted(parent.func)
+            if dotted is not None and dotted.split(".")[-1] == "closing":
+                parent = self.file.parent(parent)
+        # `return (pool, flags...)` transfers ownership just like a bare
+        # return; climb through tuple/list display nesting first.
+        while isinstance(parent, (ast.Tuple, ast.List, ast.Starred)):
+            parent = self.file.parent(parent)
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, ast.Return):
+            return True  # ownership transferred to the caller
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    return True  # instance-owned; its shutdown path applies
+                if isinstance(target, ast.Name):
+                    return self._released_in_scope(node, target.id)
+        return False
+
+    def _released_in_scope(self, node: ast.AST, name: str) -> bool:
+        """Whether ``name`` is with-entered or finally-closed in scope."""
+        scope: Optional[ast.AST] = None
+        for ancestor in self.file.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Module)):
+                scope = ancestor
+                break
+        if scope is None:
+            return False
+        for other in ast.walk(scope):
+            if isinstance(other, ast.withitem):
+                expr = other.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    return True
+                if isinstance(expr, ast.Call):
+                    for arg in expr.args:
+                        if isinstance(arg, ast.Name) and arg.id == name:
+                            return True
+            if isinstance(other, ast.Try) and other.finalbody:
+                for stmt in other.finalbody:
+                    for call in ast.walk(stmt):
+                        if isinstance(call, ast.Call) \
+                                and isinstance(call.func, ast.Attribute) \
+                                and call.func.attr in _CLOSE_METHODS \
+                                and isinstance(call.func.value, ast.Name) \
+                                and call.func.value.id == name:
+                            return True
+        return False

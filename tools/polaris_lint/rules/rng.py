@@ -1,0 +1,107 @@
+"""PL001 — RNG discipline.
+
+Every random stream in ``src/repro`` must be reproducible from campaign
+coordinates: generators are injected parameters, seeded explicitly, or
+spawned from ``numpy.random.SeedSequence`` seam functions such as
+``chunk_seed_streams`` (PR 2's shard-layout invariance depends on it).
+Therefore:
+
+* ``np.random.default_rng()`` without a seed (or with a literal ``None``)
+  is forbidden — it silently draws OS entropy and makes results
+  unreproducible;
+* the legacy global-state API (``np.random.seed``, ``np.random.rand``,
+  ``np.random.RandomState``, ...) is forbidden everywhere the linter runs;
+* the stdlib :mod:`random` module is forbidden inside ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..contracts import NP_RANDOM_ALLOWED, RNG_STRICT_PREFIXES
+from ..core import FileRule, Severity, register
+
+
+def _in_strict_scope(rel_path: str) -> bool:
+    return rel_path.startswith(RNG_STRICT_PREFIXES)
+
+
+@register
+class RngDisciplineRule(FileRule):
+    """Unseeded/global randomness breaks campaign reproducibility."""
+
+    rule_id = "PL001"
+    severity = Severity.ERROR
+    title = "RNG discipline: injected or SeedSequence-derived generators only"
+
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] == "random" \
+                    and _in_strict_scope(self.file.rel_path):
+                self.report(self.file, node,
+                            "stdlib 'random' is banned in src/repro: use an "
+                            "injected numpy Generator derived from "
+                            "SeedSequence coordinates")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module \
+                and node.module.split(".")[0] == "random" \
+                and _in_strict_scope(self.file.rel_path):
+            self.report(self.file, node,
+                        "stdlib 'random' is banned in src/repro: use an "
+                        "injected numpy Generator derived from SeedSequence "
+                        "coordinates")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.file.resolve_dotted(node.func)
+        if dotted is not None:
+            self._check_call(node, dotted)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Non-call references to banned global-state attributes (e.g.
+        # aliasing ``np.random.shuffle`` into a variable) are just as bad.
+        parent = self.file.parent(node)
+        is_call_func = isinstance(parent, ast.Call) and parent.func is node
+        if not is_call_func and not isinstance(parent, ast.Attribute):
+            dotted = self.file.resolve_dotted(node)
+            if dotted is not None:
+                self._check_global_state(node, dotted)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def _check_call(self, node: ast.Call, dotted: str) -> None:
+        if dotted.endswith("numpy.random.default_rng") \
+                or dotted == "numpy.random.default_rng":
+            unseeded = not node.args and not node.keywords
+            literal_none = (node.args
+                            and isinstance(node.args[0], ast.Constant)
+                            and node.args[0].value is None)
+            if unseeded or literal_none:
+                self.report(self.file, node,
+                            "unseeded np.random.default_rng(): results "
+                            "become silently nondeterministic; inject an "
+                            "rng parameter or derive a seed from "
+                            "SeedSequence coordinates")
+            return
+        self._check_global_state(node, dotted)
+        if dotted.split(".")[0] == "random" \
+                and _in_strict_scope(self.file.rel_path) \
+                and dotted.count(".") == 1:
+            self.report(self.file, node,
+                        f"stdlib '{dotted}' is banned in src/repro: use an "
+                        f"injected numpy Generator")
+
+    def _check_global_state(self, node: ast.AST, dotted: str) -> None:
+        prefix = "numpy.random."
+        if not dotted.startswith(prefix):
+            return
+        member = dotted[len(prefix):].split(".")[0]
+        if member not in NP_RANDOM_ALLOWED:
+            self.report(self.file, node,
+                        f"np.random.{member} uses hidden global RNG state; "
+                        f"construct a Generator via default_rng(seed) / "
+                        f"SeedSequence instead")

@@ -12,8 +12,10 @@ The vectorised-vs-loop comparison is recorded in
 ``microbench_trace_generation``), the fused-kernel-vs-gate-loop simulation
 sweep as ``microbench_compiled_sweep``, the packed end-to-end hot path vs
 the pre-fusion oracle as ``microbench_packed_power``, the fused-vs-naive
-moment update as ``microbench_moment_update``, and the shard-count
-scaling curve of the sharded TVLA driver (both simulation backends) as
+moment update as ``microbench_moment_update``, the flat-array batch
+model scoring + batched TreeSHAP vs their per-sample oracles as
+``microbench_ml_scoring``, and the shard-count scaling curve of the
+sharded TVLA driver (both simulation backends) as
 ``microbench_sharded_tvla_scaling``.  The speedup metrics of the non-slow
 benches are anchored in ``benchmarks/results/baseline.json`` and gated
 against >25% regressions by ``tools/check_bench_regression.py`` (the CI
@@ -573,6 +575,105 @@ def test_feature_extraction_throughput(benchmark, design):
     extractor = StructuralFeatureExtractor(design, locality=7)
     names, matrix = benchmark(extractor.extract_all, True)
     assert matrix.shape[0] == len(names)
+
+
+def test_ml_scoring_microbench(trained_polaris_bench, design, recorder):
+    """Flat-array batch scoring + batched TreeSHAP vs the per-sample oracles.
+
+    Scores a benchmark-netlist gate-feature matrix (tiled to >= 2000 rows)
+    with the trained AdaBoost model two ways: the flat-array fast path
+    (``positive_score`` descending every :class:`repro.ml.FlatTree` for
+    the whole matrix at once) and a verbatim reconstruction of the pre-PR
+    inference loop (one recursive ``predict_value`` node walk per row per
+    weak learner, one vote comparison pass per class).  Scores must be
+    **exactly** equal and the batch path must clear a 10x floor.  A second
+    row times ``explain_matrix`` against per-row ``explain`` calls on the
+    same model (the SHAP path shares one coalition-expectation sweep
+    across all rows); recorded as ``microbench_ml_scoring`` and gated by
+    ``tools/check_bench_regression.py``.
+    """
+    model = trained_polaris_bench.model
+    extractor = StructuralFeatureExtractor(
+        design, locality=7, encoder=trained_polaris_bench.encoder)
+    _, matrix = extractor.extract_all(maskable_only=True)
+    matrix = np.tile(matrix, (max(1, -(-2000 // matrix.shape[0])), 1))
+
+    def per_sample_scores():
+        votes = np.zeros((matrix.shape[0], len(model.classes_)))
+        for tree, alpha in zip(model.estimators_, model.estimator_weights_):
+            proba = tree.tree_.predict_value(matrix)
+            predictions = tree.classes_[np.argmax(proba, axis=1)]
+            for column, cls in enumerate(model.classes_):
+                votes[:, column] += alpha * (predictions == cls)
+        total = votes.sum(axis=1, keepdims=True)
+        total[total == 0] = 1.0
+        probabilities = votes / total
+        classes = list(model.classes_)
+        column = classes.index(1) if 1 in classes else len(classes) - 1
+        return probabilities[:, column]
+
+    def best_of(fn, repeats=5, number=1):
+        return min(timeit.timeit(fn, number=number)
+                   for _ in range(repeats)) / number
+
+    np.testing.assert_array_equal(model.positive_score(matrix),
+                                  per_sample_scores())
+    scoring_fast = best_of(lambda: model.positive_score(matrix), number=3)
+    scoring_oracle = best_of(per_sample_scores)
+
+    from repro.xai import TreeShapExplainer
+    explainer = TreeShapExplainer(model)
+    shap_rows = matrix[:8]
+    for fast_expl, oracle_expl in zip(
+            explainer.explain_matrix(shap_rows),
+            [explainer.explain(row) for row in shap_rows]):
+        np.testing.assert_array_equal(fast_expl.shap_values,
+                                      oracle_expl.shap_values)
+        assert fast_expl.prediction == oracle_expl.prediction
+    shap_fast = best_of(lambda: explainer.explain_matrix(shap_rows),
+                        repeats=3)
+    shap_oracle = best_of(
+        lambda: [explainer.explain(row) for row in shap_rows], repeats=3)
+
+    rows = [
+        {
+            "design": design.name,
+            "comparison": "batch_scoring_vs_per_sample",
+            "n_rows": int(matrix.shape[0]),
+            "n_estimators": len(model.estimators_),
+            "oracle_seconds": scoring_oracle,
+            "fast_seconds": scoring_fast,
+            "speedup": scoring_oracle / scoring_fast,
+            "bitwise_equal": True,
+        },
+        {
+            "design": design.name,
+            "comparison": "shap_matrix_vs_per_sample",
+            "n_rows": int(shap_rows.shape[0]),
+            "n_estimators": len(model.estimators_),
+            "oracle_seconds": shap_oracle,
+            "fast_seconds": shap_fast,
+            "speedup": shap_oracle / shap_fast,
+            "bitwise_equal": True,
+        },
+    ]
+    recorder.record(ExperimentRecord(
+        experiment_id="microbench_ml_scoring",
+        description=("Flat-array batch model scoring and batched TreeSHAP "
+                     "vs the per-sample oracle walks on a benchmark-netlist "
+                     "gate-feature matrix; outputs exactly equal"),
+        parameters={"scale": BENCH_SCALE, "locality": 7,
+                    "model": "adaboost", "cpu_count": os.cpu_count()},
+        rows=rows,
+    ))
+    speedups = {row["comparison"]: row["speedup"] for row in rows}
+    # The batch descent replaces ~n_rows * n_estimators Python node walks
+    # with one vectorised frontier sweep per tree; measured margins are far
+    # above these floors, which only catch a genuine fast-path regression.
+    assert speedups["batch_scoring_vs_per_sample"] >= 10.0, (
+        f"flat-array batch scoring below the 10x floor: {speedups}")
+    assert speedups["shap_matrix_vs_per_sample"] > 1.2, (
+        f"batched TreeSHAP lost its margin over per-row explain: {speedups}")
 
 
 def test_model_inference_throughput(benchmark, trained_polaris_bench, design):

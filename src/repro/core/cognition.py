@@ -122,8 +122,11 @@ def generate_cognition(
             modified_assessment = assess_leakage(masked.netlist, config.tvla)
             tvla_runs += 1
             modified_map = modified_assessment.as_dict()
-            for gate_name in selected:
-                features = extractor.extract(gate_name)
+            # One batched featurisation per round instead of one extract()
+            # call per gate; rows line up with ``selected``.
+            feature_matrix = extractor.extract_many(selected)
+            for gate_index, gate_name in enumerate(selected):
+                features = feature_matrix[gate_index]
                 gate_before = baseline_map.get(gate_name, 0.0)
                 ratio = leakage_reduction_ratio(
                     gate_before, modified_map.get(gate_name, 0.0))

@@ -72,6 +72,10 @@ def rank_gates(
 ) -> List[GateScore]:
     """Score every maskable gate of ``netlist`` with the model (and rules).
 
+    The whole gate-feature matrix is scored in one ``positive_score`` call,
+    which descends the ensemble's flat-array trees for every row at once
+    (see :class:`repro.ml.FlatTree`) rather than gate by gate.
+
     Returns the scores sorted by decreasing combined score (the ``C`` set of
     Algorithm 2 after ``sort_descending``).
     """

@@ -67,7 +67,12 @@ class TrainedPolaris:
     # ------------------------------------------------------------------
     def explain(self, samples: Optional[np.ndarray] = None,
                 max_samples: int = 25) -> List[Explanation]:
-        """SHAP-explain model predictions (defaults to training samples)."""
+        """SHAP-explain model predictions (defaults to training samples).
+
+        Uses :meth:`TreeShapExplainer.explain_matrix`, which evaluates
+        coalition expectations once per tree for the whole sample matrix
+        (bit-identical to explaining each row individually).
+        """
         explainer = TreeShapExplainer(
             self.model, feature_names=self.dataset.feature_names)
         if samples is None:

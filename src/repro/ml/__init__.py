@@ -5,6 +5,7 @@ from .tree import (
     LEAF,
     DecisionTreeClassifier,
     DecisionTreeRegressor,
+    FlatTree,
     TreeNode,
 )
 from .forest import RandomForestClassifier
@@ -29,6 +30,7 @@ __all__ = [
     "LEAF",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
+    "FlatTree",
     "TreeNode",
     "RandomForestClassifier",
     "AdaBoostClassifier",

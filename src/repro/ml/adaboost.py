@@ -100,10 +100,17 @@ class AdaBoostClassifier(BaseClassifier):
             # Degenerate single-class training: unanimous vote for that class.
             return np.ones((features.shape[0], len(self.classes_)))
         votes = np.zeros((features.shape[0], len(self.classes_)))
+        rows = np.arange(features.shape[0])
         for tree, alpha in zip(self.estimators_, self.estimator_weights_):
-            predictions = tree.predict(features)
-            for column, cls in enumerate(self.classes_):
-                votes[:, column] += alpha * (predictions == cls)
+            # Each weak learner's vote depends only on which leaf a sample
+            # lands in, so resolve argmax + label -> vote-column on the
+            # tiny per-node table once (classes_ is sorted, np.unique) and
+            # gather it by leaf index, instead of materialising the full
+            # probability matrix and mapping every sample's label.
+            flat = tree.tree_.flat
+            node_votes = np.searchsorted(self.classes_, tree.classes_)[
+                np.argmax(flat.value, axis=1)]
+            votes[rows, node_votes[tree.tree_.leaf_indices(features)]] += alpha
         return votes
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:

@@ -6,7 +6,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from .base import BaseClassifier, NotFittedError, check_features, check_labels
+from .base import (
+    BaseClassifier,
+    NotFittedError,
+    check_features,
+    check_labels,
+    check_sample_weight,
+)
 from .tree import DecisionTreeClassifier
 
 
@@ -52,15 +58,16 @@ class RandomForestClassifier(BaseClassifier):
         if max_features is None:
             max_features = max(1, int(np.sqrt(self.n_features_)))
 
-        weights = None
+        # check_sample_weight rejects negative and zero-sum weights with a
+        # clear error (a raw zero-sum vector used to surface as NaN
+        # bootstrap probabilities inside rng.choice) and returns the
+        # normalised vector, which is exactly the bootstrap distribution.
+        probabilities = None
         if sample_weight is not None:
-            weights = np.asarray(sample_weight, dtype=float)
+            probabilities = check_sample_weight(sample_weight, n_samples)
 
         self.estimators_ = []
         for index in range(self.n_estimators):
-            probabilities = None
-            if weights is not None:
-                probabilities = weights / weights.sum()
             bootstrap = rng.choice(n_samples, size=n_samples, replace=True,
                                    p=probabilities)
             tree = DecisionTreeClassifier(
@@ -80,11 +87,11 @@ class RandomForestClassifier(BaseClassifier):
         total = np.zeros((features.shape[0], len(self.classes_)))
         for tree in self.estimators_:
             proba = tree.predict_proba(features)
-            # Align tree classes (a bootstrap may miss a class entirely).
+            # Align tree classes (a bootstrap may miss a class entirely);
+            # classes_ is sorted (np.unique), so searchsorted maps each
+            # tree column to its forest column in one shot.
             aligned = np.zeros_like(total)
-            for column, cls in enumerate(tree.classes_):
-                target = int(np.where(self.classes_ == cls)[0][0])
-                aligned[:, target] = proba[:, column]
+            aligned[:, np.searchsorted(self.classes_, tree.classes_)] = proba
             total += aligned
         return total / len(self.estimators_)
 

@@ -59,6 +59,10 @@ class GradientBoostingClassifier(BaseClassifier):
         self.random_state = random_state
         self.estimators_: List[DecisionTreeRegressor] = []
         self.initial_score_: float = 0.0
+        #: Explicit not-fitted flag: ``initial_score_`` legitimately stays
+        #: 0.0 after a perfectly balanced fit, so it cannot double as the
+        #: sentinel.
+        self.fitted_: bool = False
         self.classes_: np.ndarray = np.array([])
 
     def fit(self, features: np.ndarray, labels: np.ndarray,
@@ -72,6 +76,7 @@ class GradientBoostingClassifier(BaseClassifier):
         if len(self.classes_) == 1:
             self.initial_score_ = 20.0 if self.classes_[0] == 1 else -20.0
             self.estimators_ = []
+            self.fitted_ = True
             return self
         # Map labels to {0, 1}; the positive class is the larger label value.
         positive = labels == self.classes_[-1]
@@ -104,6 +109,7 @@ class GradientBoostingClassifier(BaseClassifier):
             update = tree.predict(features)
             scores = scores + self.learning_rate * update
             self.estimators_.append(tree)
+        self.fitted_ = True
         return self
 
     def _newton_adjust_leaves(self, tree: DecisionTreeRegressor,
@@ -111,18 +117,17 @@ class GradientBoostingClassifier(BaseClassifier):
                               hessian: np.ndarray, weights: np.ndarray) -> None:
         """Replace leaf means with Newton steps ``sum(g) / sum(h)``."""
         assert tree.tree_ is not None
-        leaf_for_sample = np.array(
-            [tree.tree_.decision_path(row)[-1] for row in features])
+        leaf_for_sample = tree.tree_.leaf_indices(features)
         for leaf_index in np.unique(leaf_for_sample):
             mask = leaf_for_sample == leaf_index
             numerator = float(np.sum(weights[mask] * gradient[mask]))
             denominator = float(np.sum(weights[mask] * hessian[mask])) + 1e-12
-            tree.tree_.nodes[leaf_index].value = np.array([numerator / denominator])
+            tree.tree_.set_node_value(int(leaf_index),
+                                      np.array([numerator / denominator]))
 
     def decision_function(self, features: np.ndarray) -> np.ndarray:
         """Raw additive score (log-odds of the positive class)."""
-        # polaris-lint: disable=PL006 not-fitted sentinel: 0.0 is set verbatim in __init__ and only replaced by fit()
-        if self.initial_score_ == 0.0 and not self.estimators_ and self.classes_.size == 0:
+        if not self.fitted_:
             raise NotFittedError("GradientBoostingClassifier is not fitted")
         features = check_features(features)
         scores = np.full(features.shape[0], self.initial_score_)

@@ -20,7 +20,10 @@ def train_test_split(features: np.ndarray, labels: np.ndarray,
         labels: Label vector.
         test_fraction: Fraction of samples assigned to the test split.
         seed: RNG seed.
-        stratify: Preserve per-class proportions in both splits.
+        stratify: Preserve per-class proportions in both splits.  Every
+            class keeps at least one training member: a singleton class
+            goes entirely to the train split (sending it to test would
+            make the class unlearnable).
 
     Returns:
         ``(features_train, features_test, labels_train, labels_test)``.
@@ -39,7 +42,11 @@ def train_test_split(features: np.ndarray, labels: np.ndarray,
         for cls in np.unique(labels):
             members = np.flatnonzero(labels == cls)
             members = rng.permutation(members)
-            n_test = max(1, int(round(test_fraction * members.size)))
+            # Cap the per-class test count so at least one member stays in
+            # the train split; max(1, ...) alone sent singleton classes
+            # entirely to test, so the train split lost the class.
+            n_test = min(max(1, int(round(test_fraction * members.size))),
+                         members.size - 1)
             test_indices.extend(members[:n_test].tolist())
         test_mask = np.zeros(n_samples, dtype=bool)
         test_mask[test_indices] = True
@@ -55,7 +62,16 @@ def train_test_split(features: np.ndarray, labels: np.ndarray,
 
 def stratified_k_fold(labels: np.ndarray, n_folds: int = 5,
                       seed: int = 0) -> List[Tuple[np.ndarray, np.ndarray]]:
-    """Return ``(train_indices, test_indices)`` pairs for stratified k-fold CV."""
+    """Return ``(train_indices, test_indices)`` pairs for stratified k-fold CV.
+
+    Folds that receive no test samples (possible when ``n_folds`` exceeds
+    the sample count) are skipped rather than returned empty, so consumers
+    such as :func:`cross_val_score` never score an empty test split.
+
+    Raises:
+        ValueError: if ``n_folds < 2``, or if fewer than two usable folds
+            remain (both fold sides must be non-empty to be usable).
+    """
     labels = np.asarray(labels)
     if n_folds < 2:
         raise ValueError("n_folds must be >= 2")
@@ -68,7 +84,14 @@ def stratified_k_fold(labels: np.ndarray, n_folds: int = 5,
     folds = []
     for fold in range(n_folds):
         test_mask = fold_of == fold
+        if not test_mask.any() or test_mask.all():
+            continue
         folds.append((np.flatnonzero(~test_mask), np.flatnonzero(test_mask)))
+    if len(folds) < 2:
+        raise ValueError(
+            f"stratified {n_folds}-fold split of {labels.shape[0]} sample(s) "
+            f"leaves fewer than two usable folds; reduce n_folds or provide "
+            f"more samples")
     return folds
 
 
@@ -79,6 +102,9 @@ def cross_val_score(model_factory: Callable[[], object], features: np.ndarray,
     """Cross-validated scores of a model built by ``model_factory``.
 
     The factory is called once per fold so folds never share fitted state.
+    One score is returned per *usable* fold (see :func:`stratified_k_fold`:
+    empty folds are skipped), so the result can be shorter than ``n_folds``
+    on very small datasets.
     """
     features = np.asarray(features)
     labels = np.asarray(labels)

@@ -3,10 +3,23 @@
 The trees are grown with the classic CART procedure: at every node the best
 axis-aligned split is chosen by exhaustive search over features and
 thresholds, scoring candidate splits with the weighted Gini impurity
-(classification) or weighted variance (regression).  The fitted tree is
-stored as flat node arrays — feature index, threshold, children, value and
-weighted cover per node — which is exactly the representation the Tree SHAP
-explainer (:mod:`repro.xai.tree_shap`) traverses.
+(classification) or weighted variance (regression).
+
+A fitted tree carries two synchronised representations:
+
+* a ``List[TreeNode]`` of dataclasses — the builder's output and the
+  structure the *per-sample oracles* (:meth:`_FittedTree.predict_value`,
+  :meth:`_FittedTree.decision_path`) walk one row at a time, and
+* a :class:`FlatTree` — parallel ``feature``/``threshold``/``left``/
+  ``right``/``value``/``cover`` numpy node arrays built once at the end of
+  ``fit``, which the vectorised batch paths (:meth:`_FittedTree.predict_batch`,
+  :meth:`_FittedTree.leaf_indices`) descend frontier-by-frontier over the
+  whole ``(n_samples, n_features)`` matrix, and which the Tree SHAP
+  explainer (:mod:`repro.xai.tree_shap`) traverses.
+
+The batch paths are bit-identical to the per-sample oracles (same float64
+comparisons, same leaf values); the pairing is pinned by
+``tests/test_ml_vectorised.py`` and enforced by polaris-lint PL002.
 """
 
 from __future__ import annotations
@@ -136,19 +149,24 @@ class _TreeBuilder:
             if best is None or score < best.score:
                 threshold = 0.5 * (sorted_values[position]
                                    + sorted_values[position + 1])
-                left_mask = column <= threshold
-                left_count = int(left_mask.sum())
-                if (left_count < self.min_samples_leaf
-                        or n_samples - left_count < self.min_samples_leaf):
-                    continue
                 best = _SplitCandidate(int(feature), float(threshold), float(score),
-                                       left_mask)
+                                       column <= threshold)
         return best
 
     def _scan_splits(self, targets: np.ndarray, weights: np.ndarray,
                      positions: np.ndarray,
                      n_classes: int) -> Tuple[float, Optional[int]]:
-        """Vectorised scan of candidate split positions on a sorted column."""
+        """Vectorised scan of candidate split positions on a sorted column.
+
+        Positions whose left/right child would fall below
+        ``min_samples_leaf`` are masked out *before* the argmin, so a
+        feature whose best-scoring position violates the leaf constraint
+        still yields its best valid position rather than being discarded.
+        """
+        n_samples = targets.size
+        # Split at position p sends samples [0, p] left and (p, n) right.
+        leaf_ok = ((positions + 1 >= self.min_samples_leaf)
+                   & (n_samples - positions - 1 >= self.min_samples_leaf))
         total_weight = weights.sum()
         if self.criterion == "gini":
             # Cumulative weighted class counts.
@@ -159,7 +177,7 @@ class _TreeBuilder:
             right_counts = total_counts - left_counts
             left_weight = left_counts.sum(axis=1)
             right_weight = right_counts.sum(axis=1)
-            valid = (left_weight > 0) & (right_weight > 0)
+            valid = (left_weight > 0) & (right_weight > 0) & leaf_ok
             if not np.any(valid):
                 return np.inf, None
             with np.errstate(divide="ignore", invalid="ignore"):
@@ -178,7 +196,7 @@ class _TreeBuilder:
             total_square = float(np.sum(weights * targets ** 2))
             left_weight = cum_weight
             right_weight = total_weight - cum_weight
-            valid = (left_weight > 0) & (right_weight > 0)
+            valid = (left_weight > 0) & (right_weight > 0) & leaf_ok
             if not np.any(valid):
                 return np.inf, None
             with np.errstate(divide="ignore", invalid="ignore"):
@@ -233,15 +251,101 @@ class _TreeBuilder:
         return node_index
 
 
+@dataclass
+class FlatTree:
+    """Structure-of-arrays form of a fitted tree (one entry per node).
+
+    Attributes:
+        feature: Split feature per node (:data:`LEAF` for leaves).
+        threshold: Split threshold per node (``x <= threshold`` goes left).
+        left: Left-child index per node (-1 for leaves).
+        right: Right-child index per node (-1 for leaves).
+        value: ``(n_nodes, n_outputs)`` node predictions.
+        cover: Total sample weight that reached each node.
+        step_feature: Like ``feature`` but 0 at leaves — safe to gather.
+        step_threshold: Like ``threshold`` but ``+inf`` at leaves.
+        step_left: Like ``left`` but leaves point back at themselves.
+        step_right: Like ``right`` but leaves point back at themselves.
+        max_depth: Depth of the deepest node (descent iteration count).
+
+    The ``step_*`` views make leaves self-looping: a row already on its
+    leaf compares ``x <= +inf``, goes "left" and stays put, so the batch
+    descent can sweep all rows level-synchronously for ``max_depth``
+    iterations with no per-level active-set bookkeeping.
+
+    Children always have larger indices than their parent (the builder
+    appends parents before recursing), so index order is a topological
+    order — the vectorised Tree SHAP expectation relies on this.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    cover: np.ndarray
+    step_feature: np.ndarray
+    step_threshold: np.ndarray
+    step_left: np.ndarray
+    step_right: np.ndarray
+    max_depth: int
+
+    @classmethod
+    def from_nodes(cls, nodes: List[TreeNode]) -> "FlatTree":
+        """Flatten a builder node list into parallel arrays."""
+        feature = np.array([node.feature for node in nodes], dtype=np.intp)
+        threshold = np.array([node.threshold for node in nodes], dtype=float)
+        left = np.array([node.left for node in nodes], dtype=np.intp)
+        right = np.array([node.right for node in nodes], dtype=np.intp)
+        leaf = feature == LEAF
+        self_index = np.arange(len(nodes), dtype=np.intp)
+        return cls(
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            value=np.vstack([node.value for node in nodes]).astype(float),
+            cover=np.array([node.cover for node in nodes], dtype=float),
+            step_feature=np.where(leaf, 0, feature),
+            step_threshold=np.where(leaf, np.inf, threshold),
+            step_left=np.where(leaf, self_index, left),
+            step_right=np.where(leaf, self_index, right),
+            max_depth=max(node.depth for node in nodes),
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self.feature.shape[0]
+
+
 class _FittedTree:
-    """Prediction and introspection over a list of :class:`TreeNode`."""
+    """Prediction and introspection over a fitted tree.
+
+    Holds both representations: the :class:`TreeNode` list walked by the
+    per-sample oracles and the :class:`FlatTree` arrays descended by the
+    vectorised batch paths.  :meth:`set_node_value` keeps the two in sync
+    (gradient boosting rewrites leaf values with Newton steps after
+    fitting).
+    """
 
     def __init__(self, nodes: List[TreeNode], n_features: int) -> None:
         self.nodes = nodes
         self.n_features = n_features
+        self.flat = FlatTree.from_nodes(nodes)
+
+    def set_node_value(self, index: int, value: np.ndarray) -> None:
+        """Replace one node's prediction in both representations."""
+        value = np.asarray(value, dtype=float)
+        self.nodes[index].value = value
+        self.flat.value[index] = value
 
     def predict_value(self, features: np.ndarray) -> np.ndarray:
-        """Return the leaf value reached by every sample."""
+        """Per-sample oracle: walk the node list one row at a time.
+
+        Bit-identical to :meth:`predict_batch`, which replaces it on the
+        hot path (oracle pair ``tree-predict``, polaris-lint PL002).
+        """
         features = check_features(features)
         outputs = np.zeros((features.shape[0], self.nodes[0].value.shape[0]))
         for row in range(features.shape[0]):
@@ -254,8 +358,44 @@ class _FittedTree:
             outputs[row] = node.value
         return outputs
 
+    def _descend(self, features: np.ndarray) -> np.ndarray:
+        """Level-synchronous descent: leaf index reached by every row.
+
+        Rows that reach a leaf early self-loop via the ``step_*`` arrays
+        (see :class:`FlatTree`), so the sweep runs exactly ``max_depth``
+        full-width iterations — for the shallow trees on the scoring hot
+        path that beats filtering a shrinking active set every level.
+        """
+        flat = self.flat
+        indices = np.zeros(features.shape[0], dtype=np.intp)
+        rows = np.arange(features.shape[0])
+        for _ in range(flat.max_depth):
+            go_left = (features[rows, flat.step_feature[indices]]
+                       <= flat.step_threshold[indices])
+            indices = np.where(go_left, flat.step_left[indices],
+                               flat.step_right[indices])
+        return indices
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Leaf value per sample via iterative descent over the flat arrays.
+
+        One ``(n_samples,)``-wide comparison per tree level instead of a
+        Python loop per row; bit-identical to :meth:`predict_value`.
+        """
+        features = check_features(features)
+        return self.flat.value[self._descend(features)]
+
+    def leaf_indices(self, features: np.ndarray) -> np.ndarray:
+        """Leaf node index reached by every row (batched
+        ``decision_path(row)[-1]``)."""
+        return self._descend(check_features(features))
+
     def decision_path(self, sample: np.ndarray) -> List[int]:
-        """Indices of the nodes visited by ``sample`` (root to leaf)."""
+        """Indices of the nodes visited by ``sample`` (root to leaf).
+
+        Per-sample oracle for :meth:`leaf_indices` (its last element is the
+        leaf the batch descent returns for the same row).
+        """
         sample = np.asarray(sample, dtype=float).ravel()
         path = [0]
         node = self.nodes[0]
@@ -335,7 +475,7 @@ class DecisionTreeClassifier(BaseClassifier):
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         if self.tree_ is None:
             raise NotFittedError("DecisionTreeClassifier is not fitted")
-        return self.tree_.predict_value(features)
+        return self.tree_.predict_batch(features)
 
     @property
     def feature_importances_(self) -> np.ndarray:
@@ -377,7 +517,7 @@ class DecisionTreeRegressor:
     def predict(self, features: np.ndarray) -> np.ndarray:
         if self.tree_ is None:
             raise NotFittedError("DecisionTreeRegressor is not fitted")
-        return self.tree_.predict_value(features)[:, 0]
+        return self.tree_.predict_batch(features)[:, 0]
 
     @property
     def feature_importances_(self) -> np.ndarray:

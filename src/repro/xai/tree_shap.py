@@ -32,7 +32,16 @@ from .explain import Explanation
 
 
 class _WeightedTree:
-    """A single tree plus its weight and output convention."""
+    """A single tree plus its weight and output convention.
+
+    Alongside the :class:`TreeNode` list (walked by the per-sample
+    :meth:`expectation` oracle) the constructor flattens the tree into
+    parallel node arrays — feature/threshold/children/cover plus the
+    scalar output per node in the explainer's output convention — which
+    :meth:`expectation_batch` sweeps bottom-up for a whole sample matrix
+    at once.  Node indices are topologically ordered (children after
+    parents), so one reverse pass visits every child before its parent.
+    """
 
     def __init__(self, nodes: Sequence[TreeNode], weight: float,
                  output_index: Optional[int]) -> None:
@@ -41,6 +50,15 @@ class _WeightedTree:
         #: Column of the node value used as output (class-probability index
         #: for classification trees, ``None`` for scalar regression values).
         self.output_index = output_index
+        self.feature = np.array([node.feature for node in self.nodes],
+                                dtype=np.intp)
+        self.threshold = np.array([node.threshold for node in self.nodes],
+                                  dtype=float)
+        self.left = np.array([node.left for node in self.nodes], dtype=np.intp)
+        self.right = np.array([node.right for node in self.nodes], dtype=np.intp)
+        self.cover = np.array([node.cover for node in self.nodes], dtype=float)
+        self.output = np.array([self.node_output(node) for node in self.nodes],
+                               dtype=float)
 
     def node_output(self, node: TreeNode) -> float:
         if self.output_index is None:
@@ -57,7 +75,9 @@ class _WeightedTree:
         """E[tree(x)] when features in ``known`` follow ``sample``.
 
         Unknown split features are marginalised with the per-branch training
-        cover, which is the path-dependent Tree SHAP convention.
+        cover, which is the path-dependent Tree SHAP convention.  This is
+        the per-sample oracle for :meth:`expectation_batch` (oracle pair
+        ``tree-shap-expectation``, polaris-lint PL002).
         """
         def recurse(index: int) -> float:
             node = self.nodes[index]
@@ -76,6 +96,37 @@ class _WeightedTree:
                     + right.cover / total * recurse(node.right))
 
         return recurse(0)
+
+    def expectation_batch(self, samples: np.ndarray,
+                          known: frozenset) -> np.ndarray:
+        """Vectorised :meth:`expectation` for every row of ``samples``.
+
+        One bottom-up pass over the flat node arrays: each node's
+        conditional expectation is an ``(n_samples,)`` vector computed from
+        its children's vectors with exactly the oracle's arithmetic (same
+        cover ratios, same operation order), so the result is bit-identical
+        per row.
+        """
+        n_nodes = len(self.nodes)
+        values = np.empty((n_nodes, samples.shape[0]))
+        for index in range(n_nodes - 1, -1, -1):
+            feature = self.feature[index]
+            if feature < 0:
+                values[index] = self.output[index]
+                continue
+            left = self.left[index]
+            right = self.right[index]
+            if feature in known:
+                go_left = samples[:, feature] <= self.threshold[index]
+                values[index] = np.where(go_left, values[left], values[right])
+                continue
+            total = self.cover[left] + self.cover[right]
+            if total <= 0:
+                values[index] = 0.5 * (values[left] + values[right])
+            else:
+                values[index] = (self.cover[left] / total * values[left]
+                                 + self.cover[right] / total * values[right])
+        return values[0]
 
 
 def _extract_trees(model: object, positive_class: int = 1) -> Tuple[List[_WeightedTree], float, str]:
@@ -196,7 +247,12 @@ class TreeShapExplainer:
 
     # ------------------------------------------------------------------
     def explain(self, sample: np.ndarray) -> Explanation:
-        """Compute Shapley values for one sample."""
+        """Compute Shapley values for one sample.
+
+        Per-sample oracle for :meth:`explain_matrix` (oracle pair
+        ``tree-shap-explain``, polaris-lint PL002): the batched path must
+        reproduce this method bit-for-bit on every row.
+        """
         sample = np.asarray(sample, dtype=float).ravel()
         if sample.shape[0] != self._n_features:
             raise ValueError("sample length does not match the model")
@@ -213,11 +269,33 @@ class TreeShapExplainer:
         )
 
     def explain_matrix(self, samples: np.ndarray) -> List[Explanation]:
-        """Explain every row of ``samples``."""
+        """Explain every row of ``samples`` in one batched pass.
+
+        Coalition expectations are evaluated once per (tree, coalition)
+        for the whole matrix via :meth:`_WeightedTree.expectation_batch`
+        instead of once per row, which collapses the dominant cost of
+        explaining a gate-feature matrix.  Results are bit-identical to
+        calling :meth:`explain` row by row.
+        """
         samples = np.asarray(samples, dtype=float)
         if samples.ndim == 1:
             samples = samples.reshape(1, -1)
-        return [self.explain(row) for row in samples]
+        if samples.shape[1] != self._n_features:
+            raise ValueError("sample length does not match the model")
+        phi = np.zeros((samples.shape[0], self._n_features))
+        for tree in self._trees:
+            phi += tree.weight * self._tree_shapley_batch(tree, samples)
+        predictions = self._predict_output_batch(samples)
+        return [
+            Explanation(
+                base_value=self._base_value,
+                shap_values=phi[index],
+                data=samples[index],
+                feature_names=self.feature_names,
+                prediction=float(predictions[index]),
+            )
+            for index in range(samples.shape[0])
+        ]
 
     def _predict_output(self, sample: np.ndarray) -> float:
         """Model output in the explainer's output space."""
@@ -231,6 +309,18 @@ class TreeShapExplainer:
         for tree in self._trees:
             total += tree.weight * tree.expectation(sample, known)
         return float(total)
+
+    def _predict_output_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_predict_output` for every row of ``samples``."""
+        if self.link == "logit":
+            return np.asarray(self.model.decision_function(samples), dtype=float)
+        if self.link == "identity":
+            return np.asarray(self.model.predict(samples), dtype=float)
+        total = np.full(samples.shape[0], self._offset)
+        known = frozenset(range(self._n_features))
+        for tree in self._trees:
+            total += tree.weight * tree.expectation_batch(samples, known)
+        return total
 
     # ------------------------------------------------------------------
     def _tree_shapley(self, tree: _WeightedTree, sample: np.ndarray) -> np.ndarray:
@@ -283,6 +373,79 @@ class TreeShapExplainer:
             for feature in order:
                 current = current | {int(feature)}
                 new_value = tree.expectation(sample, current)
+                contributions[int(feature)] += new_value - previous_value
+                previous_value = new_value
+        for feature in used:
+            contributions[feature] /= self.n_permutations
+        return contributions
+
+    # ------------------------------------------------------------------
+    def _tree_shapley_batch(self, tree: _WeightedTree,
+                            samples: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_tree_shapley`: one ``(n_samples, n_features)``
+        matrix with the same per-row values."""
+        used = tree.used_features()
+        phi = np.zeros((samples.shape[0], self._n_features))
+        if not used:
+            return phi
+        if len(used) <= self.max_exact_features:
+            contributions = self._exact_shapley_batch(tree, samples, used)
+        else:
+            contributions = self._sampled_shapley_batch(tree, samples, used)
+        for feature, values in contributions.items():
+            phi[:, feature] = values
+        return phi
+
+    def _exact_shapley_batch(self, tree: _WeightedTree, samples: np.ndarray,
+                             used: Tuple[int, ...]) -> Dict[int, np.ndarray]:
+        """:meth:`_exact_shapley` over a sample matrix.
+
+        Mirrors the scalar loops exactly — same subset iteration order,
+        same factorial weights, same coalition cache keyed by frozenset —
+        with each cached expectation an ``(n_samples,)`` vector.
+        """
+        n_used = len(used)
+        cache: Dict[frozenset, np.ndarray] = {}
+
+        def value(subset: frozenset) -> np.ndarray:
+            if subset not in cache:
+                cache[subset] = tree.expectation_batch(samples, subset)
+            return cache[subset]
+
+        contributions = {feature: np.zeros(samples.shape[0]) for feature in used}
+        others: Dict[int, Tuple[int, ...]] = {
+            feature: tuple(f for f in used if f != feature) for feature in used
+        }
+        factorials = [factorial(k) for k in range(n_used + 1)]
+        denominator = factorials[n_used]
+        for feature in used:
+            for size in range(n_used):
+                weight = factorials[size] * factorials[n_used - size - 1] / denominator
+                for subset in combinations(others[feature], size):
+                    base = frozenset(subset)
+                    contributions[feature] += weight * (
+                        value(base | {feature}) - value(base))
+        return contributions
+
+    def _sampled_shapley_batch(self, tree: _WeightedTree, samples: np.ndarray,
+                               used: Tuple[int, ...]) -> Dict[int, np.ndarray]:
+        """:meth:`_sampled_shapley` over a sample matrix.
+
+        The scalar path seeds a fresh ``default_rng(self.seed)`` per tree
+        per sample, so every row sees the same permutation sequence; one
+        generator drawn here once per tree therefore reproduces each row's
+        estimate bit-for-bit.
+        """
+        rng = np.random.default_rng(self.seed)
+        contributions = {feature: np.zeros(samples.shape[0]) for feature in used}
+        used_array = np.array(used)
+        for _ in range(self.n_permutations):
+            order = rng.permutation(used_array)
+            current: frozenset = frozenset()
+            previous_value = tree.expectation_batch(samples, current)
+            for feature in order:
+                current = current | {int(feature)}
+                new_value = tree.expectation_batch(samples, current)
                 contributions[int(feature)] += new_value - previous_value
                 previous_value = new_value
         for feature in used:

@@ -55,6 +55,22 @@ class TestRandomForest:
         with pytest.raises(NotFittedError):
             RandomForestClassifier().predict(np.zeros((1, 3)))
 
+    def test_zero_sum_sample_weight_rejected(self, nonlinear_data):
+        # Regression: all-zero weights used to propagate NaN bootstrap
+        # probabilities into rng.choice instead of failing loudly.
+        Xtr, ytr, _, _ = nonlinear_data
+        with pytest.raises(ValueError, match="sample_weight"):
+            RandomForestClassifier(n_estimators=3).fit(
+                Xtr, ytr, sample_weight=np.zeros(len(ytr)))
+
+    def test_negative_sample_weight_rejected(self, nonlinear_data):
+        Xtr, ytr, _, _ = nonlinear_data
+        weights = np.ones(len(ytr))
+        weights[0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            RandomForestClassifier(n_estimators=3).fit(
+                Xtr, ytr, sample_weight=weights)
+
 
 class TestAdaBoost:
     def test_boosting_improves_over_single_stump(self, nonlinear_data):
@@ -156,3 +172,19 @@ class TestGradientBoosting:
             GradientBoostingClassifier(n_estimators=0)
         with pytest.raises(ValueError):
             GradientBoostingClassifier(subsample=0.0)
+
+    def test_unfitted_decision_function_raises(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingClassifier().decision_function(np.zeros((1, 2)))
+
+    def test_balanced_fit_is_recognised_as_fitted(self):
+        # Regression: the not-fitted sentinel used to be
+        # ``initial_score_ == 0.0``, which a perfectly balanced fit
+        # legitimately produces (log-odds of base rate 0.5).
+        features = np.array([[0.0], [1.0], [2.0], [3.0]])
+        labels = np.array([0, 0, 1, 1])
+        model = GradientBoostingClassifier(
+            n_estimators=3, learning_rate=0.1).fit(features, labels)
+        assert model.initial_score_ == 0.0
+        assert model.fitted_
+        assert model.decision_function(features).shape == (4,)

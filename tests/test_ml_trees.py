@@ -44,6 +44,18 @@ class TestDecisionTreeClassifier:
         leaf_covers = [node.cover for node in tree.tree_.nodes if node.is_leaf]
         assert min(leaf_covers) * 100 >= 20 - 1e-9  # weights are normalised
 
+    def test_min_samples_leaf_does_not_discard_feature(self):
+        # Regression: when a feature's *best* split violated
+        # min_samples_leaf, the whole feature was silently skipped even
+        # though a slightly worse split on it was legal.  Here the optimal
+        # split (x <= 0.5) strands one sample, but x <= 1.5 still reduces
+        # impurity and must be chosen instead of growing no tree at all.
+        features = np.arange(8, dtype=float).reshape(-1, 1)
+        labels = np.array([1, 0, 0, 0, 0, 0, 0, 0])
+        tree = DecisionTreeClassifier(min_samples_leaf=2).fit(features, labels)
+        assert len(tree.tree_.nodes) == 3
+        assert tree.tree_.nodes[0].threshold == pytest.approx(1.5)
+
     def test_pure_node_becomes_leaf(self):
         features = np.array([[0.0], [1.0], [2.0], [3.0]])
         labels = np.array([1, 1, 1, 1])

@@ -162,3 +162,41 @@ class TestModelSelection:
                                  features, labels, n_folds=4, seed=1)
         assert scores.shape == (4,)
         assert scores.mean() > 0.85
+
+    def test_train_test_split_singleton_class_stays_in_train(self, rng):
+        # Regression: max(1, ...) used to send a singleton class entirely
+        # to the test split, making it unlearnable for the train side.
+        features = rng.normal(size=(11, 2))
+        labels = np.array([0] * 10 + [1])
+        _, _, ytr, yte = train_test_split(features, labels, 0.3, seed=0)
+        assert (ytr == 1).sum() == 1
+        assert (yte == 1).sum() == 0
+
+    def test_train_test_split_every_class_keeps_a_train_member(self, rng):
+        features = rng.normal(size=(9, 2))
+        labels = np.array([0, 0, 0, 1, 1, 2, 2, 3, 3])
+        _, _, ytr, _ = train_test_split(features, labels, 0.5, seed=3)
+        assert set(np.unique(ytr)) == {0, 1, 2, 3}
+
+    def test_stratified_k_fold_skips_empty_folds(self):
+        # 6 samples cannot fill 5 folds; empty folds must be dropped, not
+        # returned (they used to crash downstream metrics).
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        folds = stratified_k_fold(labels, n_folds=5, seed=0)
+        assert 2 <= len(folds) < 5
+        for train, test in folds:
+            assert train.size > 0 and test.size > 0
+
+    def test_stratified_k_fold_too_few_samples_raises(self):
+        with pytest.raises(ValueError, match="usable folds"):
+            stratified_k_fold(np.array([0]), n_folds=3, seed=0)
+
+    def test_cross_val_score_tiny_dataset_no_crash(self, rng):
+        # Regression: an empty fold reached metrics._validate and raised
+        # "metrics require at least one sample" mid-CV.
+        features = rng.normal(size=(7, 2))
+        labels = np.array([0, 0, 0, 0, 1, 1, 1])
+        scores = cross_val_score(lambda: DecisionTreeClassifier(max_depth=2),
+                                 features, labels, n_folds=5, seed=0)
+        assert 2 <= scores.size <= 5
+        assert np.isfinite(scores).all()

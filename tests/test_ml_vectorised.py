@@ -1,0 +1,251 @@
+"""Bit-identity properties: flat-array fast paths vs their per-sample oracles.
+
+These tests pin the oracle pairs registered in
+``tools/polaris_lint/contracts.py`` (rule PL002):
+
+- ``tree-predict``: ``FlatTree``-based ``predict_batch`` /
+  ``leaf_indices`` vs the recursive ``predict_value`` / ``decision_path``
+  node walk.
+- ``tree-shap-expectation``: the bottom-up ``expectation_batch`` sweep vs
+  the recursive ``expectation`` oracle.
+- ``tree-shap-explain``: the batched ``explain_matrix`` vs per-sample
+  ``explain``.
+
+Every assertion is *bitwise* (``np.array_equal`` / ``==`` on floats is
+deliberate here): the vectorised paths are required to reproduce the
+oracle exactly, not approximately, so the hybrid per-sample/batched code
+paths can never disagree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    FlatTree,
+    GradientBoostingClassifier,
+    LEAF,
+    RandomForestClassifier,
+)
+from repro.xai.tree_shap import TreeShapExplainer, _extract_trees
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+MODEL_FACTORIES = {
+    "tree": lambda depth: DecisionTreeClassifier(max_depth=depth,
+                                                 random_state=0),
+    "forest": lambda depth: RandomForestClassifier(n_estimators=4,
+                                                   max_depth=depth,
+                                                   random_state=1),
+    "adaboost": lambda depth: AdaBoostClassifier(n_estimators=5,
+                                                 max_depth=depth,
+                                                 random_state=2),
+    "gboost": lambda depth: GradientBoostingClassifier(n_estimators=5,
+                                                       learning_rate=0.2,
+                                                       max_depth=depth,
+                                                       random_state=3),
+}
+
+
+def _dataset(seed, n_samples, n_features, single_class=False,
+             constant_feature=False, weighted=False):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n_samples, n_features))
+    if constant_feature:
+        features[:, 0] = 1.5
+    if single_class:
+        labels = np.ones(n_samples, dtype=int)
+    else:
+        labels = (features.sum(axis=1) > 0).astype(int)
+        labels[0] = 0  # guarantee both classes when possible
+        labels[-1] = 1
+    weights = rng.uniform(0.1, 2.0, size=n_samples) if weighted else None
+    return features, labels, weights
+
+
+def _fitted_trees(model):
+    """Every fitted ``_FittedTree`` inside ``model``."""
+    if hasattr(model, "estimators_"):
+        return [tree.tree_ for tree in model.estimators_]
+    return [model.tree_]
+
+
+# ----------------------------------------------------------------------
+# Oracle pair tree-predict: predict_batch vs predict_value
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", sorted(MODEL_FACTORIES))
+@SETTINGS
+@given(seed=st.integers(0, 10_000), n_samples=st.integers(5, 40),
+       n_features=st.integers(1, 6), depth=st.integers(1, 4),
+       weighted=st.booleans())
+def test_predict_batch_matches_predict_value(family, seed, n_samples,
+                                             n_features, depth, weighted):
+    features, labels, weights = _dataset(seed, n_samples, n_features,
+                                         weighted=weighted)
+    model = MODEL_FACTORIES[family](depth)
+    model.fit(features, labels, sample_weight=weights)
+    queries = np.random.default_rng(seed + 1).normal(
+        size=(n_samples, n_features))
+    for fitted in _fitted_trees(model):
+        batch = fitted.predict_batch(queries)
+        oracle = np.vstack([fitted.predict_value(row) for row in queries])
+        assert np.array_equal(batch, oracle)
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000), n_samples=st.integers(5, 40),
+       n_features=st.integers(1, 5), depth=st.integers(1, 5))
+def test_regressor_predict_batch_matches_predict_value(seed, n_samples,
+                                                       n_features, depth):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n_samples, n_features))
+    targets = rng.normal(size=n_samples)
+    model = DecisionTreeRegressor(max_depth=depth, random_state=0)
+    model.fit(features, targets)
+    queries = rng.normal(size=(n_samples, n_features))
+    batch = model.tree_.predict_batch(queries)
+    oracle = np.vstack([model.tree_.predict_value(row) for row in queries])
+    assert np.array_equal(batch, oracle)
+    assert np.array_equal(model.predict(queries), oracle[:, 0])
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000), n_samples=st.integers(5, 30),
+       n_features=st.integers(1, 5), depth=st.integers(1, 4))
+def test_leaf_indices_match_decision_path(seed, n_samples, n_features, depth):
+    features, labels, _ = _dataset(seed, n_samples, n_features)
+    model = DecisionTreeClassifier(max_depth=depth, random_state=0)
+    model.fit(features, labels)
+    queries = np.random.default_rng(seed + 1).normal(
+        size=(n_samples, n_features))
+    leaves = model.tree_.leaf_indices(queries)
+    for index, row in enumerate(queries):
+        assert leaves[index] == model.tree_.decision_path(row)[-1]
+
+
+@pytest.mark.parametrize("degenerate", ["single_class", "constant_feature"])
+def test_predict_batch_degenerate_corners(degenerate):
+    features, labels, _ = _dataset(
+        0, 12, 3,
+        single_class=degenerate == "single_class",
+        constant_feature=degenerate == "constant_feature")
+    for family, factory in sorted(MODEL_FACTORIES.items()):
+        model = factory(3)
+        model.fit(features, labels)
+        for fitted in _fitted_trees(model):
+            batch = fitted.predict_batch(features)
+            oracle = np.vstack([fitted.predict_value(row) for row in features])
+            assert np.array_equal(batch, oracle), family
+
+
+def test_flat_tree_mirrors_nodes_topologically():
+    features, labels, _ = _dataset(3, 40, 4)
+    model = DecisionTreeClassifier(max_depth=4, random_state=0)
+    model.fit(features, labels)
+    flat = model.tree_.flat
+    nodes = model.tree_.nodes
+    assert isinstance(flat, FlatTree)
+    assert flat.n_nodes == len(nodes)
+    for index, node in enumerate(nodes):
+        assert flat.feature[index] == node.feature
+        assert np.array_equal(flat.value[index], node.value)
+        if node.feature != LEAF:
+            # Children always sit at larger indices (topological order);
+            # the vectorised SHAP sweep relies on this.
+            assert node.left > index and node.right > index
+            assert flat.left[index] == node.left
+            assert flat.right[index] == node.right
+
+
+# ----------------------------------------------------------------------
+# Oracle pair tree-shap-expectation: expectation_batch vs expectation
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(seed=st.integers(0, 10_000), n_samples=st.integers(3, 20),
+       n_features=st.integers(2, 5), known_seed=st.integers(0, 100))
+def test_expectation_batch_matches_expectation(seed, n_samples, n_features,
+                                               known_seed):
+    features, labels, _ = _dataset(seed, max(n_samples, 8), n_features)
+    model = RandomForestClassifier(n_estimators=3, max_depth=3,
+                                   random_state=0).fit(features, labels)
+    trees, _, _ = _extract_trees(model)
+    known_rng = np.random.default_rng(known_seed)
+    queries = np.random.default_rng(seed + 1).normal(
+        size=(n_samples, n_features))
+    for tree in trees:
+        n_known = int(known_rng.integers(0, n_features + 1))
+        known = frozenset(
+            int(f) for f in known_rng.choice(n_features, size=n_known,
+                                             replace=False))
+        batch = tree.expectation_batch(queries, known)
+        for index, row in enumerate(queries):
+            assert batch[index] == tree.expectation(row, known)
+
+
+# ----------------------------------------------------------------------
+# Oracle pair tree-shap-explain: explain_matrix vs explain
+# ----------------------------------------------------------------------
+def _assert_explanations_identical(batch, oracle):
+    assert np.array_equal(batch.shap_values, oracle.shap_values)
+    assert batch.base_value == oracle.base_value
+    assert batch.prediction == oracle.prediction
+    assert np.array_equal(batch.data, oracle.data)
+
+
+@pytest.mark.parametrize("family", sorted(MODEL_FACTORIES))
+@SETTINGS
+@given(seed=st.integers(0, 10_000), n_samples=st.integers(2, 10),
+       n_features=st.integers(2, 5))
+def test_explain_matrix_matches_explain(family, seed, n_samples, n_features):
+    features, labels, _ = _dataset(seed, 25, n_features)
+    model = MODEL_FACTORIES[family](3).fit(features, labels)
+    explainer = TreeShapExplainer(model)
+    queries = np.random.default_rng(seed + 1).normal(
+        size=(n_samples, n_features))
+    batch = explainer.explain_matrix(queries)
+    assert len(batch) == n_samples
+    for index, row in enumerate(queries):
+        _assert_explanations_identical(batch[index], explainer.explain(row))
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000), n_features=st.integers(2, 4))
+def test_explain_matrix_matches_explain_sampled_fallback(seed, n_features):
+    features, labels, _ = _dataset(seed, 30, n_features)
+    model = DecisionTreeClassifier(max_depth=4, random_state=0).fit(
+        features, labels)
+    # max_exact_features=1 forces the permutation-sampling path whenever a
+    # tree splits on more than one feature.
+    explainer = TreeShapExplainer(model, max_exact_features=1,
+                                  n_permutations=12, seed=7)
+    queries = np.random.default_rng(seed + 1).normal(size=(6, n_features))
+    batch = explainer.explain_matrix(queries)
+    for index, row in enumerate(queries):
+        _assert_explanations_identical(batch[index], explainer.explain(row))
+
+
+def test_explain_matrix_regressor_and_1d_input():
+    rng = np.random.default_rng(5)
+    features = rng.normal(size=(40, 4))
+    targets = features[:, 0] * 2.0 - features[:, 2]
+    model = DecisionTreeRegressor(max_depth=4, random_state=0).fit(
+        features, targets)
+    explainer = TreeShapExplainer(model)
+    row = rng.normal(size=4)
+    batch = explainer.explain_matrix(row)
+    assert len(batch) == 1
+    _assert_explanations_identical(batch[0], explainer.explain(row))
+
+
+def test_explain_matrix_rejects_wrong_width():
+    features, labels, _ = _dataset(0, 20, 3)
+    model = DecisionTreeClassifier(max_depth=2, random_state=0).fit(
+        features, labels)
+    explainer = TreeShapExplainer(model)
+    with pytest.raises(ValueError, match="does not match"):
+        explainer.explain_matrix(np.zeros((2, 5)))

@@ -260,9 +260,27 @@ def _oracle_repo_files(tmp_path):
             "        pass\n",
         "src/repro/simulation/simulator.py":
             "SIM_BACKENDS = ('compiled', 'loop')\n",
+        "src/repro/ml/tree.py":
+            "class FittedTree:\n"
+            "    def predict_batch(self):\n"
+            "        pass\n"
+            "    def predict_value(self):\n"
+            "        pass\n",
+        "src/repro/xai/tree_shap.py":
+            "class TreeShapExplainer:\n"
+            "    def expectation_batch(self):\n"
+            "        pass\n"
+            "    def expectation(self):\n"
+            "        pass\n"
+            "    def explain_matrix(self):\n"
+            "        pass\n"
+            "    def explain(self):\n"
+            "        pass\n",
         "tests/test_oracles.py":
             "# references: update_batch update_batch_naive packed unpacked\n"
-            "# compiled loop generate generate_loop\n",
+            "# compiled loop generate generate_loop\n"
+            "# predict_batch predict_value expectation_batch expectation\n"
+            "# explain_matrix explain\n",
     }
 
 
@@ -302,7 +320,9 @@ class TestPL002Oracle:
         files = _oracle_repo_files(tmp_path)
         files["tests/test_oracles.py"] = (
             "# references: update_batch update_batch_naive packed unpacked\n"
-            "# compiled loop generate\n")  # generate_loop dropped
+            "# compiled loop generate\n"  # generate_loop dropped
+            "# predict_batch predict_value expectation_batch expectation\n"
+            "# explain_matrix explain\n")
         result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
         assert codes(result) == ["PL002"]
         assert "untested" in result.findings[0].message
@@ -312,7 +332,9 @@ class TestPL002Oracle:
         files = _oracle_repo_files(tmp_path)
         files["tests/test_oracles.py"] = (
             "# references: update_batch update_batch_naive packed unpacked\n"
-            "# compiled loop generate_loop\n")
+            "# compiled loop generate_loop\n"
+            "# predict_batch predict_value expectation_batch expectation\n"
+            "# explain_matrix explain\n")
         result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
         assert codes(result) == ["PL002"]
 

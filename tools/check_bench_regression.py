@@ -48,6 +48,7 @@ GATED: Dict[str, Tuple[Tuple[str, ...], str, bool]] = {
     "microbench_compiled_sweep": (("design",), "speedup", True),
     "microbench_packed_power": (("design", "comparison"), "speedup", True),
     "microbench_moment_update": (("max_order",), "speedup", True),
+    "microbench_ml_scoring": (("design", "comparison"), "speedup", True),
 }
 
 #: Row keys exempt from gating (informational rows): the packed-extraction

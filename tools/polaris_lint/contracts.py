@@ -73,6 +73,15 @@ ORACLE_PAIRS: Tuple[OraclePair, ...] = (
     # PR 1: vectorised trace engine vs the per-gate reference loop.
     OraclePair("trace-engine", "src/repro/power/traces.py",
                "generate", "generate_loop"),
+    # PR 7: flat-array batch tree descent vs the per-sample node walk.
+    OraclePair("tree-predict", "src/repro/ml/tree.py",
+               "predict_batch", "predict_value"),
+    # PR 7: bottom-up batched conditional expectation vs the recursive walk.
+    OraclePair("tree-shap-expectation", "src/repro/xai/tree_shap.py",
+               "expectation_batch", "expectation"),
+    # PR 7: batched SHAP matrix vs the per-sample explainer.
+    OraclePair("tree-shap-explain", "src/repro/xai/tree_shap.py",
+               "explain_matrix", "explain"),
 )
 
 

@@ -31,6 +31,7 @@ from typing import List, Optional
 from ..netlist.benchmarks import load_benchmark
 from ..netlist.parser import parse_bench_file
 from ..power.traces import POWER_BACKENDS
+from ..power.ctrsample import SAMPLERS
 from ..tvla.assessment import SUPPORTED_TVLA_ORDERS, TvlaConfig
 from .queue import run_worker
 from .runner import (
@@ -83,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="power-engine toggle extraction (packed = "
                              "bit-packed fast path, unpacked = oracle; "
                              "bit-identical results, different hashes)")
+    submit.add_argument("--sampler", default="counter",
+                        choices=SAMPLERS,
+                        help="mask/noise sampling discipline (counter = "
+                             "Philox coordinate draws, bitwise layout-"
+                             "invariant; sequence = legacy SeedSequence "
+                             "streams; different samplers draw different "
+                             "traces and hash differently)")
 
     work = commands.add_parser(
         "work", help="serve the queue: claim, execute and ack shard tasks")
@@ -155,7 +163,8 @@ def _submit(args: argparse.Namespace) -> int:
                         n_fixed_classes=args.classes, seed=args.seed,
                         chunk_traces=args.chunk_traces,
                         tvla_order=args.order,
-                        power_backend=args.power_backend)
+                        power_backend=args.power_backend,
+                        sampler=args.sampler)
     outcome = submit_campaign(args.root, netlist=netlist, config=config,
                               n_shards=args.shards)
     print(f"{outcome.status} {outcome.spec_hash}")

@@ -2,10 +2,13 @@
 
 Two wire formats live here:
 
-* **Shard partials** — a shard's :data:`~repro.tvla.sharding.ShardMoments`
-  (per fixed class, a ``(group0, group1)`` pair of
-  :class:`~repro.tvla.moments.OnePassMoments`) packed as length-prefixed
-  :meth:`OnePassMoments.to_bytes` blobs.  This is the unit the checkpoint
+* **Shard partials** — a shard's :data:`~repro.tvla.sharding.ShardPartials`
+  packed as length-prefixed :meth:`OnePassMoments.to_bytes` blobs.  Two
+  sub-formats share the dispatch: ``SHM1`` for sequence-sampler shards
+  (per class, one merged ``(group0, group1)`` accumulator pair) and
+  ``SHM2`` for counter-sampler shards (per class and group, a **list** of
+  per-chunk accumulators, kept unmerged so the campaign merge can
+  left-fold them in global chunk order).  This is the unit the checkpoint
   layer persists and the queue ships between workers; the round-trip is
   bit-identical, so resumed/distributed merges equal in-process ones.
 * **Assessments** — a full :class:`~repro.tvla.assessment.LeakageAssessment`
@@ -24,17 +27,53 @@ import numpy as np
 
 from ..tvla.assessment import LeakageAssessment
 from ..tvla.moments import OnePassMoments
-from ..tvla.sharding import ShardMoments
+from ..tvla.sharding import ShardChunkMoments, ShardMoments, ShardPartials
 
-#: Magic + version prefix of the packed shard-partial format.
+#: Magic + version prefix of the packed shard-partial format (one merged
+#: accumulator pair per class — sequence-sampler shards).
 _SHARD_MAGIC = b"SHM1"
+#: Magic of the per-chunk variant (counter-sampler shards: unmerged
+#: per-chunk accumulator lists per class and group).
+_SHARD_CHUNK_MAGIC = b"SHM2"
 
 
 # ----------------------------------------------------------------------
 # Shard partials
 # ----------------------------------------------------------------------
-def pack_shard_moments(partials: ShardMoments) -> bytes:
-    """Pack one shard's per-class accumulator pairs into a byte string."""
+def _read_u32(payload: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 4 > len(payload):
+        raise ValueError("truncated shard-moments payload")
+    (value,) = struct.unpack_from("<I", payload, offset)
+    return value, offset + 4
+
+
+def _read_accumulator(payload: bytes,
+                      offset: int) -> Tuple[OnePassMoments, int]:
+    length, offset = _read_u32(payload, offset)
+    blob = payload[offset:offset + length]
+    if len(blob) != length:
+        raise ValueError("truncated shard-moments payload")
+    return OnePassMoments.from_bytes(blob), offset + length
+
+
+def pack_shard_moments(partials: ShardPartials) -> bytes:
+    """Pack one shard's per-class accumulators into a byte string.
+
+    The wire format follows the partial form: merged pairs
+    (:data:`ShardMoments`) pack as ``SHM1`` exactly as before this format
+    existed; per-chunk lists (:data:`ShardChunkMoments`) pack as ``SHM2``
+    with an extra chunk-count prefix per group.
+    """
+    if partials and isinstance(partials[0][0], list):
+        chunks = [_SHARD_CHUNK_MAGIC, struct.pack("<I", len(partials))]
+        for pair in partials:
+            for group in pair:
+                chunks.append(struct.pack("<I", len(group)))
+                for accumulator in group:
+                    blob = accumulator.to_bytes()
+                    chunks.append(struct.pack("<I", len(blob)))
+                    chunks.append(blob)
+        return b"".join(chunks)
     chunks = [_SHARD_MAGIC, struct.pack("<I", len(partials))]
     for pair in partials:
         for accumulator in pair:
@@ -44,32 +83,40 @@ def pack_shard_moments(partials: ShardMoments) -> bytes:
     return b"".join(chunks)
 
 
-def unpack_shard_moments(payload: bytes) -> ShardMoments:
-    """Rebuild the :data:`ShardMoments` packed by :func:`pack_shard_moments`.
+def unpack_shard_moments(payload: bytes) -> ShardPartials:
+    """Rebuild the partials packed by :func:`pack_shard_moments`.
+
+    Dispatches on the magic, so checkpoints written by either sampler
+    discipline (or by pre-``SHM2`` builds) all load.
 
     Raises:
         ValueError: for truncated or foreign payloads.
     """
+    if payload.startswith(_SHARD_CHUNK_MAGIC):
+        offset = len(_SHARD_CHUNK_MAGIC)
+        n_classes, offset = _read_u32(payload, offset)
+        per_chunk: ShardChunkMoments = []
+        for _ in range(n_classes):
+            groups: List[List[OnePassMoments]] = []
+            for _ in range(2):
+                n_chunks, offset = _read_u32(payload, offset)
+                group: List[OnePassMoments] = []
+                for _ in range(n_chunks):
+                    accumulator, offset = _read_accumulator(payload, offset)
+                    group.append(accumulator)
+                groups.append(group)
+            per_chunk.append((groups[0], groups[1]))
+        return per_chunk
     if not payload.startswith(_SHARD_MAGIC):
         raise ValueError("not a packed shard-moments payload")
     offset = len(_SHARD_MAGIC)
-    if len(payload) < offset + 4:
-        raise ValueError("truncated shard-moments payload")
-    (n_classes,) = struct.unpack_from("<I", payload, offset)
-    offset += 4
-    partials: List[Tuple[OnePassMoments, OnePassMoments]] = []
+    n_classes, offset = _read_u32(payload, offset)
+    partials: ShardMoments = []
     for _ in range(n_classes):
         pair = []
         for _ in range(2):
-            if offset + 4 > len(payload):
-                raise ValueError("truncated shard-moments payload")
-            (length,) = struct.unpack_from("<I", payload, offset)
-            offset += 4
-            blob = payload[offset:offset + length]
-            if len(blob) != length:
-                raise ValueError("truncated shard-moments payload")
-            pair.append(OnePassMoments.from_bytes(blob))
-            offset += length
+            accumulator, offset = _read_accumulator(payload, offset)
+            pair.append(accumulator)
         partials.append((pair[0], pair[1]))
     return partials
 

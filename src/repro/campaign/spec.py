@@ -39,8 +39,18 @@ from ..tvla.sharding import shard_trace_ranges
 
 #: Bumped whenever the hashed payload layout (or the semantics of any
 #: hashed field) changes, so stale stores can never serve foreign results.
-#: Format 2 added ``TvlaConfig.power_backend`` to the hashed config.
-SPEC_FORMAT = 2
+#: Format 2 added ``TvlaConfig.power_backend`` to the hashed config;
+#: format 3 added ``TvlaConfig.sampler`` (the counter/sequence sampling
+#: discipline — campaigns with different samplers draw different traces,
+#: so the sampler must separate content hashes).
+SPEC_FORMAT = 3
+
+#: Older spec formats :meth:`CampaignSpec.from_json` still loads.  A
+#: format-2 file predates the ``sampler`` knob and therefore describes a
+#: ``sampler="sequence"`` campaign (the only discipline that existed);
+#: its stored ``content_hash`` is verified against the format-2 payload
+#: it was computed over.
+_COMPAT_FORMATS = (2,)
 
 
 def tvla_config_to_dict(config: TvlaConfig) -> Dict[str, object]:
@@ -128,13 +138,21 @@ class CampaignSpec:
         return shard_trace_ranges(self.tvla.n_traces, self.n_shards,
                                   self.tvla.chunk_traces)
 
-    def canonical_payload(self) -> str:
-        """The canonical JSON string the content hash is computed over."""
+    def canonical_payload(self, spec_format: int = SPEC_FORMAT) -> str:
+        """The canonical JSON string the content hash is computed over.
+
+        ``spec_format`` selects the payload layout of an older format
+        (used to verify the stored hash of a legacy spec file); format 2
+        predates — and therefore omits — the ``sampler`` field.
+        """
+        tvla = tvla_config_to_dict(self.tvla)
+        if spec_format < 3:
+            tvla.pop("sampler", None)
         return json.dumps({
-            "format": SPEC_FORMAT,
+            "format": spec_format,
             "design_name": self.design_name,
             "bench_text": self.bench_text,
-            "tvla": tvla_config_to_dict(self.tvla),
+            "tvla": tvla,
             "n_shards": self.n_shards,
         }, sort_keys=True, separators=(",", ":"))
 
@@ -165,23 +183,40 @@ class CampaignSpec:
     def from_json(cls, text: str) -> "CampaignSpec":
         """Rebuild a spec written by :meth:`to_json`.
 
+        Specs of the formats in :data:`_COMPAT_FORMATS` load too: a
+        format-2 file (pre-``sampler``) describes a
+        ``sampler="sequence"`` campaign, and its stored hash is verified
+        against the format-2 payload it was computed over, so legacy
+        campaign directories keep resuming bit-identically.
+
         Raises:
             ValueError: for unknown format versions or a stored
                 ``content_hash`` that no longer matches (corrupt or
                 hand-edited spec files must never be silently trusted).
         """
         data = json.loads(text)
-        if data.get("format") != SPEC_FORMAT:
+        spec_format = data.get("format")
+        if spec_format != SPEC_FORMAT and spec_format not in _COMPAT_FORMATS:
             raise ValueError(
-                f"unsupported campaign spec format {data.get('format')!r} "
-                f"(this build understands {SPEC_FORMAT})")
+                f"unsupported campaign spec format {spec_format!r} "
+                f"(this build understands {SPEC_FORMAT} and "
+                f"{_COMPAT_FORMATS})")
+        tvla_data = dict(data["tvla"])
+        if spec_format < 3:
+            # The sampler knob did not exist: every legacy campaign drew
+            # through the SeedSequence discipline.
+            tvla_data["sampler"] = "sequence"
         spec = cls(design_name=data["design_name"],
                    bench_text=data["bench_text"],
-                   tvla=tvla_config_from_dict(data["tvla"]),
+                   tvla=tvla_config_from_dict(tvla_data),
                    n_shards=data["n_shards"])
         stored = data.get("content_hash")
-        if stored is not None and stored != spec.content_hash:
-            raise ValueError(
-                f"campaign spec hash mismatch: file says {stored[:12]}…, "
-                f"recomputed {spec.content_hash[:12]}…")
+        if stored is not None:
+            expected = hashlib.sha256(
+                spec.canonical_payload(spec_format).encode("utf-8")
+            ).hexdigest()
+            if stored != expected:
+                raise ValueError(
+                    f"campaign spec hash mismatch: file says "
+                    f"{stored[:12]}…, recomputed {expected[:12]}…")
         return spec

@@ -24,6 +24,64 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Bit count of the fast measurement-noise sampler: one Binomial(16, 1/2)
+#: popcount per sample, sliced out of raw 64-bit generator words (four
+#: samples per word).  Shared by the trace engine (:mod:`.traces`) and the
+#: power model's sampler parameters (:meth:`.model.GatePowerModel.
+#: fast_noise_params`).
+FAST_NOISE_BITS = 16
+
+
+def words_for_units(n_units: int, dtype: np.dtype) -> int:
+    """uint64 generator words covering ``n_units`` items of ``dtype``.
+
+    Every raw-bits consumer draws whole 64-bit words and reinterprets them
+    as smaller units (uint8 mask bytes, uint16 noise popcount fields), so
+    the word count is ``ceil(n_units * itemsize / 8)`` — the single
+    definition behind what used to be separate ``(count + 7) // 8`` and
+    ``(count + 3) // 4`` expressions at the draw sites.  The final word's
+    tail units beyond ``n_units`` are discarded by the caller's
+    ``.view(unit)[:n_units]`` slice.
+    """
+    if n_units < 0:
+        raise ValueError(f"n_units must be >= 0, got {n_units}")
+    itemsize = np.dtype(dtype).itemsize
+    if itemsize > 8 or 8 % itemsize:
+        raise ValueError(
+            f"dtype {np.dtype(dtype)} does not tile a 64-bit word")
+    return (int(n_units) * itemsize + 7) // 8
+
+
+def combine_transition_codes(shares: np.ndarray) -> np.ndarray:
+    """Fuse four 0/1 share planes into 4-bit data-transition codes.
+
+    Args:
+        shares: ``(4, width, n)`` uint8 array of 0/1 values, in the order
+            ``(a_prev, b_prev, a_cur, b_cur)``.
+
+    Returns:
+        ``(width, n)`` uint8 codes ``a_prev | b_prev<<1 | a_cur<<2 |
+        b_cur<<3`` — the masked-composite table row index.
+
+    Eight byte lanes are combined per operation through a ``uint64`` view
+    when the plane size is word-aligned (byte values <= 1 shifted by <= 3
+    never cross a byte boundary, so the wide ops are exact); other shapes
+    take a byte-wise fallback that is bit-identical.
+    """
+    shares = np.ascontiguousarray(shares, dtype=np.uint8)
+    if shares.ndim != 3 or shares.shape[0] != 4:
+        raise ValueError(
+            f"shares must have shape (4, width, n), got {shares.shape}")
+    flat = shares.reshape(4, -1)
+    if flat.shape[1] and flat.shape[1] % 8 == 0:
+        lanes = flat.view(np.uint64)
+        codes = (lanes[0] | (lanes[1] << np.uint64(1))
+                 | (lanes[2] << np.uint64(2)) | (lanes[3] << np.uint64(3)))
+        return codes.view(np.uint8).reshape(shares.shape[1:])
+    return (flat[0] | (flat[1] << 1) | (flat[2] << 2)
+            | (flat[3] << 3)).reshape(shares.shape[1:])
+
+
 def _build_popcount16() -> np.ndarray:
     """Build the 64 KiB 16-bit population-count table (read-only)."""
     table = (np.unpackbits(np.arange(65536, dtype=np.uint16).view(np.uint8))

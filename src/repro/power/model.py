@@ -24,6 +24,7 @@ import numpy as np
 
 from ..netlist.cell_library import CellLibrary, DEFAULT_LIBRARY, GateType
 from ..netlist.netlist import Gate
+from .bitops import FAST_NOISE_BITS
 
 #: Process-wide cache of masked-composite toggle tables, keyed by
 #: ``(model class, gate type, reuse_masks)``.  The tables are pure
@@ -444,3 +445,16 @@ class GatePowerModel:
             return 0.0
         return self.config.noise_sigma * self.library.switching_energy(
             GateType.NAND)
+
+    def fast_noise_params(self) -> Tuple[float, float]:
+        """``(scale, offset)`` of the popcount fast-noise sampler.
+
+        A raw Binomial(16, 1/2) popcount times ``scale`` plus ``offset``
+        has mean 0 and standard deviation :meth:`noise_sigma_abs` — the
+        offset is the ``-E[count] * scale`` centring term the trace engine
+        folds into its static offsets and value tables.  Defined once here
+        so the vectorised engine, the reference loop and any future
+        backend apply bit-identical constants.
+        """
+        scale = self.noise_sigma_abs() / np.sqrt(FAST_NOISE_BITS / 4.0)
+        return scale, -(FAST_NOISE_BITS / 2.0) * scale

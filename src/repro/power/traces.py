@@ -54,6 +54,16 @@ makes every chunk's mask/noise draws a pure function of its global chunk
 coordinates, which is what lets :mod:`repro.tvla.sharding` split one
 campaign across workers and still produce t-values identical to the serial
 run for a given seed.
+
+Alternatively a :class:`~repro.power.ctrsample.CounterStream` replaces the
+seed list (``TvlaConfig.sampler="counter"``, the default): each chunk's
+mask bytes and noise popcount words then come straight off Philox counter
+blocks addressed by ``(seed, class, group, chunk, lane)``, so layout
+invariance holds by construction instead of by seed-tree discipline, and
+the masked-composite gather indexes on the raw counter byte (``d << 8 |
+byte`` into a 4096-entry replicated value table) — per-trace mask integers
+never materialise.  The ``sampler="sequence"`` path below is kept
+byte-for-byte as the frozen oracle of that stateless contract.
 """
 
 from __future__ import annotations
@@ -68,7 +78,9 @@ from ..netlist.cell_library import CellLibrary, GateType
 from ..netlist.netlist import Gate, Netlist
 from ..simulation.simulator import LogicSimulator, SimulationError, SimulationResult
 from ..simulation.vectors import TraceCampaign
-from .bitops import popcount16
+from .bitops import (FAST_NOISE_BITS, combine_transition_codes, popcount16,
+                     words_for_units)
+from .ctrsample import CounterDraws, CounterStream
 from .model import GatePowerModel, PowerModelConfig
 
 #: Toggle-extraction backends accepted by :class:`PowerTraceGenerator` (and,
@@ -78,8 +90,9 @@ POWER_BACKENDS = ("packed", "unpacked")
 #: Full range of a uint64 word, used to draw raw random bits.
 _U64_MAX = np.iinfo(np.uint64).max
 #: Bit count of the fast-noise popcount sampler (Binomial(16, 1/2) per
-#: sample, sliced out of raw 64-bit generator words).
-_FAST_NOISE_BITS = 16
+#: sample, sliced out of raw 64-bit generator words); canonical definition
+#: lives in :mod:`repro.power.bitops`.
+_FAST_NOISE_BITS = FAST_NOISE_BITS
 
 
 @dataclass
@@ -360,6 +373,10 @@ class PowerTraceGenerator:
         #: folded in) used by the packed extraction path; see
         #: :meth:`_packed_value_tables`.
         self._packed_tables: Optional[List[np.ndarray]] = None
+        #: Lazily built per-subgroup 4096-entry tables indexed by
+        #: ``d << 8 | raw_mask_byte`` for the counter sampler; see
+        #: :meth:`_counter_value_tables`.
+        self._counter_tables: Optional[List[np.ndarray]] = None
 
     @property
     def resolved_power_backend(self) -> str:
@@ -415,12 +432,41 @@ class PowerTraceGenerator:
             self._packed_tables = cached
         return cached
 
+    def _counter_value_tables(self, noise_offset: float) -> List[np.ndarray]:
+        """Per-subgroup value tables indexed by ``d << 8 | raw_mask_byte``.
+
+        The counter sampler feeds the table gather with **raw** uint8
+        counter bytes instead of ``byte & (2**mask_bits - 1)`` indices;
+        replicating each 16 x 2**mask_bits table along the mask axis to
+        16 x 256 entries makes ``table[d << 8 | byte]`` hit the same value
+        for every byte with equal low bits, so the masking ``&`` pass (and
+        the per-trace mask integer it produced) disappears from the hot
+        loop.  Entries are computed exactly as :meth:`_packed_value_tables`
+        computes theirs (same cast, same offset fold), so counter traces
+        are identical across the packed and unpacked backends.  Built with
+        the same benign idempotent race (atomic publish).
+        """
+        cached = self._counter_tables
+        if cached is None:
+            cached = []
+            for sub in self._masked_subgroups:
+                period = 1 << sub.mask_bits
+                table = np.tile(sub.value_table.reshape(16, period),
+                                (1, 256 // period)).reshape(-1)
+                table = table.astype(self.trace_dtype)
+                if noise_offset:
+                    table += self.trace_dtype.type(noise_offset)
+                table.setflags(write=False)
+                cached.append(table)
+            self._counter_tables = cached
+        return cached
+
     @staticmethod
     def _fast_noise_counts(rng: np.random.Generator,
                            shape: Tuple[int, ...]) -> np.ndarray:
         """Raw Binomial(16, 1/2) popcounts for the fast noise sampler."""
         count = int(np.prod(shape)) if shape else 1
-        words = rng.integers(0, _U64_MAX, size=(count + 3) // 4,
+        words = rng.integers(0, _U64_MAX, size=words_for_units(count, np.uint16),
                              dtype=np.uint64, endpoint=True)
         return popcount16(words.view(np.uint16)[:count].reshape(shape))
 
@@ -428,7 +474,8 @@ class PowerTraceGenerator:
     # Generation
     # ------------------------------------------------------------------
     def generate(self, campaign: TraceCampaign,
-                 rng: Optional[np.random.Generator] = None) -> PowerTraces:
+                 rng: Optional[np.random.Generator] = None,
+                 draws: Optional[CounterDraws] = None) -> PowerTraces:
         """Simulate ``campaign`` and return its per-gate power traces.
 
         Args:
@@ -440,16 +487,34 @@ class PowerTraceGenerator:
                 explicit ``rng`` the vectorised engine mutates no generator
                 state, so one :class:`PowerTraceGenerator` can be shared by
                 concurrent shard threads.
+            draws: Counter-sampler draws for this campaign's coordinates
+                (``sampler="counter"``): mask bytes and noise words come
+                straight off Philox counter blocks instead of ``rng``.
+                Mutually exclusive with ``rng`` and — like the packed
+                extraction backend — only meaningful for the vectorised
+                engine.
+
+        Raises:
+            ValueError: if both ``rng`` and ``draws`` are passed, or
+                ``draws`` is passed to the non-vectorised engine.
         """
+        if draws is not None:
+            if rng is not None:
+                raise ValueError("pass either rng or draws, not both")
+            if not self.vectorised:
+                raise ValueError(
+                    "counter-sampler draws require the vectorised engine")
         if not self.vectorised:
             return self.generate_loop(campaign, rng=rng)
-        return self._generate_vectorised(campaign, rng=rng)
+        return self._generate_vectorised(campaign, rng=rng, draws=draws)
 
     def generate_stream(
         self,
         campaign: TraceCampaign,
         chunk_traces: int,
         seeds: Optional[Sequence[Union[int, np.random.SeedSequence]]] = None,
+        counter_stream: Optional[CounterStream] = None,
+        first_chunk: int = 0,
     ) -> Iterator[PowerTraces]:
         """Yield ``campaign``'s traces in chunks of at most ``chunk_traces``.
 
@@ -471,23 +536,39 @@ class PowerTraceGenerator:
                 :func:`repro.tvla.assessment.chunk_seed_streams`; shards of
                 one campaign hand in the sub-range of streams matching
                 their global chunk offset, never streams of their own.
+            counter_stream: Counter-sampler alternative to ``seeds``
+                (``sampler="counter"``): each chunk's draws are read
+                directly off the stream's Philox counter blocks at global
+                chunk index ``first_chunk + i``, no seed list needed.
+                Mutually exclusive with ``seeds``.
+            first_chunk: Global index of this campaign's first chunk
+                (shards pass their chunk offset); only meaningful with
+                ``counter_stream`` — the sequence path encodes the offset
+                in the ``seeds`` sub-range instead.
 
         Raises:
-            ValueError: if ``chunk_traces < 1`` or ``seeds`` does not have
-                exactly one entry per chunk.
+            ValueError: if ``chunk_traces < 1``, ``seeds`` does not have
+                exactly one entry per chunk, or both ``seeds`` and
+                ``counter_stream`` are passed.
         """
         if chunk_traces < 1:
             raise ValueError("chunk_traces must be >= 1")
+        if seeds is not None and counter_stream is not None:
+            raise ValueError("pass either seeds or counter_stream, not both")
         n = campaign.n_traces
         n_chunks = (n + chunk_traces - 1) // chunk_traces
         if seeds is not None and len(seeds) != n_chunks:
             raise ValueError(
                 f"got {len(seeds)} chunk seeds for {n_chunks} chunks")
         for index, start in enumerate(range(0, n, chunk_traces)):
-            rng = (np.random.default_rng(seeds[index])
-                   if seeds is not None else None)
-            yield self.generate(campaign.slice(start, min(n, start + chunk_traces)),
-                                rng=rng)
+            chunk = campaign.slice(start, min(n, start + chunk_traces))
+            if counter_stream is not None:
+                yield self.generate(
+                    chunk, draws=counter_stream.draws(first_chunk + index))
+            else:
+                rng = (np.random.default_rng(seeds[index])
+                       if seeds is not None else None)
+                yield self.generate(chunk, rng=rng)
 
     def generate_pair(
         self, campaigns: Tuple[TraceCampaign, TraceCampaign]
@@ -521,6 +602,7 @@ class PowerTraceGenerator:
 
     def _generate_vectorised(self, campaign: TraceCampaign,
                              rng: Optional[np.random.Generator] = None,
+                             draws: Optional[CounterDraws] = None,
                              ) -> PowerTraces:
         prev_inputs, cur_inputs = campaign.as_dicts()
         previous = self._simulator.evaluate(prev_inputs)
@@ -549,7 +631,8 @@ class PowerTraceGenerator:
         else:
             net_prev = self._net_matrix(previous)
             net_cur = self._net_matrix(current)
-        rng = rng if rng is not None else self._model._rng
+        if draws is None:
+            rng = rng if rng is not None else self._model._rng
         noise_mode = self._resolved_noise_mode(vectorised=True)
         sigma = self._model.noise_sigma_abs()
         # The popcount sampler's -E[count]*scale centring term is folded
@@ -558,8 +641,7 @@ class PowerTraceGenerator:
         noise_scale = 0.0
         noise_offset = 0.0
         if noise_mode == "fast":
-            noise_scale = sigma / np.sqrt(_FAST_NOISE_BITS / 4.0)
-            noise_offset = -(_FAST_NOISE_BITS / 2.0) * noise_scale
+            noise_scale, noise_offset = self._model.fast_noise_params()
 
         n_unmasked = len(self._watch_rows)
         if n_unmasked:
@@ -583,7 +665,10 @@ class PowerTraceGenerator:
 
         packed_tables = self._packed_value_tables(noise_offset) if packed \
             else None
+        counter_tables = self._counter_value_tables(noise_offset) \
+            if draws is not None and self._masked_subgroups else None
         for group_index, sub in enumerate(self._masked_subgroups):
+            shares = None
             if packed:
                 # Assemble the 4-bit data-transition code from the packed
                 # share rows: one stacked gather, one unpack, shifts/ORs.
@@ -591,41 +676,60 @@ class PowerTraceGenerator:
                     (packed_prev[sub.a_rows], packed_prev[sub.b_rows],
                      packed_cur[sub.a_rows], packed_cur[sub.b_rows]))
                 bits = np.unpackbits(stacked, axis=1, count=n_traces)
-                a_prev, b_prev, a_cur, b_cur = (
-                    bits.reshape(4, len(sub.a_rows), n_traces))
+                shares = bits.reshape(4, len(sub.a_rows), n_traces)
+                a_prev, b_prev, a_cur, b_cur = shares
             else:
                 a_prev = net_prev[sub.a_rows]
                 b_prev = net_prev[sub.b_rows]
                 a_cur = net_cur[sub.a_rows]
                 b_cur = net_cur[sub.b_rows]
-            flat = (a_prev | (b_prev << 1) | (a_cur << 2)
-                    | (b_cur << 3)).astype(np.uint16)
-            width = flat.shape[0]
-            count = width * n_traces
-            words = rng.integers(0, _U64_MAX, size=(count + 7) // 8,
-                                 dtype=np.uint64, endpoint=True)
-            mask_index = (words.view(np.uint8)[:count].reshape(width, n_traces)
-                          & np.uint8((1 << sub.mask_bits) - 1))
-            np.left_shift(flat, sub.mask_bits, out=flat)
-            np.bitwise_or(flat, mask_index, out=flat)
-            if packed:
-                table = packed_tables[group_index]
+            if draws is not None:
+                # Counter path: word-wide code combine, then a gather on
+                # ``d << 8 | raw_byte`` — the raw Philox bytes index the
+                # replicated table directly, so the ``& mask`` pass of the
+                # sequence path (and its per-trace mask integers) is gone.
+                if shares is None:
+                    shares = np.stack((a_prev, b_prev, a_cur, b_cur))
+                flat = combine_transition_codes(shares).astype(np.uint16)
+                width = flat.shape[0]
+                raw = draws.mask_bytes(group_index, width, n_traces)
+                np.left_shift(flat, 8, out=flat)
+                np.bitwise_or(flat, raw, out=flat)
+                table = counter_tables[group_index]
             else:
-                table = sub.value_table.astype(self.trace_dtype)
-                if noise_offset:
-                    table += self.trace_dtype.type(noise_offset)
+                flat = (a_prev | (b_prev << 1) | (a_cur << 2)
+                        | (b_cur << 3)).astype(np.uint16)
+                width = flat.shape[0]
+                count = width * n_traces
+                words = rng.integers(0, _U64_MAX,
+                                     size=words_for_units(count, np.uint8),
+                                     dtype=np.uint64, endpoint=True)
+                mask_index = (words.view(np.uint8)[:count]
+                              .reshape(width, n_traces)
+                              & np.uint8((1 << sub.mask_bits) - 1))
+                np.left_shift(flat, sub.mask_bits, out=flat)
+                np.bitwise_or(flat, mask_index, out=flat)
+                if packed:
+                    table = packed_tables[group_index]
+                else:
+                    table = sub.value_table.astype(self.trace_dtype)
+                    if noise_offset:
+                        table += self.trace_dtype.type(noise_offset)
             # Indices are < len(table) by construction; mode="clip" skips
             # the bounds-check buffering of the default mode.
             np.take(table, flat, out=power[sub.row_slice], mode="clip")
 
         if noise_mode == "fast":
-            noise = np.multiply(
-                self._fast_noise_counts(rng, (n_gates, n_traces)),
-                self.trace_dtype.type(noise_scale))
+            counts = (draws.noise_counts((n_gates, n_traces))
+                      if draws is not None
+                      else self._fast_noise_counts(rng, (n_gates, n_traces)))
+            noise = np.multiply(counts, self.trace_dtype.type(noise_scale))
             np.add(power, noise, out=power)
         elif noise_mode == "gaussian":
-            gauss = rng.standard_normal(size=(n_gates, n_traces),
-                                        dtype=np.float32)
+            gauss = (draws.gauss((n_gates, n_traces), dtype=np.float32)
+                     if draws is not None
+                     else rng.standard_normal(size=(n_gates, n_traces),
+                                              dtype=np.float32))
             np.multiply(gauss, np.float32(sigma), out=gauss)
             np.add(power, gauss, out=power)
 
@@ -649,8 +753,7 @@ class PowerTraceGenerator:
         current = self._simulator.evaluate(cur_inputs)
 
         noise_mode = self._resolved_noise_mode(vectorised=False)
-        sigma = self._model.noise_sigma_abs()
-        noise_scale = sigma / np.sqrt(_FAST_NOISE_BITS / 4.0)
+        noise_scale, _ = self._model.fast_noise_params()
         rng = rng if rng is not None else self._model._rng
 
         n_traces = campaign.n_traces

@@ -16,13 +16,19 @@ Both modes consume identical traces, so their t-values agree to floating-
 point merge error (~1e-12); streaming is selected automatically for
 paper-scale campaigns.
 
-Every chunk's mask/noise randomness derives from a dedicated
-``numpy.random.SeedSequence`` spawned per ``(seed, class, group, chunk)``
-(:func:`chunk_seed_streams`), so for a given ``TvlaConfig.seed`` and
+Every chunk's mask/noise randomness is a pure function of its ``(seed,
+class, group, chunk)`` coordinates, so for a given ``TvlaConfig.seed`` and
 ``chunk_traces`` the generated traces — and therefore the t-values — are
 identical no matter how the campaign is chunked across workers.  That is
 the property :mod:`repro.tvla.sharding` builds on to split campaigns over
-thread/process pools and merge the partial accumulators losslessly.
+thread/process pools and merge the partial accumulators losslessly.  Two
+sampler disciplines realise it (``TvlaConfig.sampler``): ``"counter"``
+(default) reads Philox counter blocks addressed by those coordinates
+(:mod:`repro.power.ctrsample` — stateless, layout-invariant by
+construction), while ``"sequence"`` walks a dedicated
+``numpy.random.SeedSequence`` spawned per coordinate
+(:func:`chunk_seed_streams`) and is retained as the frozen oracle of the
+stateless contract.
 
 With ``TvlaConfig.tvla_order > 1`` the driver additionally evaluates the
 higher-order (centered-variance / standardised-skewness) t-tests from the
@@ -39,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.netlist import Netlist
+from ..power.ctrsample import SAMPLERS, CounterStream
 from ..power.model import PowerModelConfig
 from ..power.traces import POWER_BACKENDS, PowerTraceGenerator
 from ..simulation.simulator import SIM_BACKENDS
@@ -112,6 +119,21 @@ class TvlaConfig:
             either way (pinned by ``tests/test_packed_power.py``); with
             ``sim_backend="loop"`` there is no packed matrix and
             ``"packed"`` silently degrades to ``"unpacked"``.
+        sampler: Mask/noise sampling discipline: ``"counter"`` (default)
+            draws every chunk's randomness straight off Philox counter
+            blocks addressed by ``(seed, class, group, chunk, lane)``
+            (:mod:`repro.power.ctrsample`), making draws stateless and
+            shard-layout invariance hold by construction; ``"sequence"``
+            keeps the nested ``SeedSequence.spawn`` streams
+            (:func:`chunk_seed_streams`) as the frozen stateless-contract
+            oracle, bit-identical to the pre-counter implementation.  The
+            two samplers draw from different streams, so their t-values
+            differ numerically (both are valid TVLA campaigns); within a
+            sampler, results are exactly equal across any chunking,
+            sharding or executor layout.  ``"counter"`` requires the
+            vectorised trace engine and degrades to ``"sequence"`` for
+            loop-engine generators, mirroring the packed->unpacked
+            fallback.
     """
 
     n_traces: int = 1000
@@ -125,10 +147,14 @@ class TvlaConfig:
     tvla_order: int = 1
     sim_backend: str = "compiled"
     power_backend: str = "packed"
+    sampler: str = "counter"
 
     def __post_init__(self) -> None:
         if self.chunk_traces < 1:
             raise ValueError("chunk_traces must be >= 1")
+        if self.sampler not in SAMPLERS:
+            raise ValueError(
+                f"sampler must be one of {SAMPLERS}, got {self.sampler!r}")
         if self.tvla_order not in SUPPORTED_TVLA_ORDERS:
             raise ValueError(
                 f"tvla_order must be one of {SUPPORTED_TVLA_ORDERS}, "
@@ -356,6 +382,38 @@ def chunk_seed_streams(seed: int, class_index: int, group_index: int,
     return group_seq.spawn(n_chunks)
 
 
+def resolve_sampler(config: TvlaConfig,
+                    generator: PowerTraceGenerator) -> str:
+    """The sampler discipline that will actually run.
+
+    ``"counter"`` needs the vectorised trace engine (its draws feed the
+    matrix pipeline's table gathers directly); a loop-engine generator
+    degrades it to ``"sequence"``, mirroring the packed->unpacked
+    power-backend fallback.
+    """
+    if config.sampler == "counter" and not generator.vectorised:
+        return "sequence"
+    return config.sampler
+
+
+def _group_stream_kwargs(config: TvlaConfig, sampler: str, class_index: int,
+                         group_index: int, first_chunk: int,
+                         n_local: int) -> dict:
+    """``generate_stream`` randomness arguments for one campaign group.
+
+    Counter sampler: one stateless :class:`CounterStream` plus the global
+    chunk offset.  Sequence sampler: the slice of spawned per-chunk seed
+    streams matching the same global chunk range.
+    """
+    if sampler == "counter":
+        return {"counter_stream": CounterStream(config.seed, class_index,
+                                                group_index),
+                "first_chunk": first_chunk}
+    seeds = chunk_seed_streams(config.seed, class_index, group_index,
+                               config.n_chunks())
+    return {"seeds": seeds[first_chunk:first_chunk + n_local]}
+
+
 def accumulate_campaign_slice(
     generator: PowerTraceGenerator,
     pair: CampaignPair,
@@ -383,15 +441,53 @@ def accumulate_campaign_slice(
     max_order = config.moment_order()
     accumulators = (OnePassMoments(max_order=max_order, shape=shape),
                     OnePassMoments(max_order=max_order, shape=shape))
-    n_chunks_total = config.n_chunks()
+    sampler = resolve_sampler(config, generator)
     for group_index, campaign in enumerate(pair):
         n_local = (campaign.n_traces + config.chunk_traces - 1) // config.chunk_traces
-        seeds = chunk_seed_streams(config.seed, class_index, group_index,
-                                   n_chunks_total)[first_chunk:first_chunk + n_local]
+        kwargs = _group_stream_kwargs(config, sampler, class_index,
+                                      group_index, first_chunk, n_local)
         for traces in generator.generate_stream(campaign, config.chunk_traces,
-                                                seeds=seeds):
+                                                **kwargs):
             accumulators[group_index].update_batch(traces.per_gate)
     return accumulators
+
+
+def accumulate_campaign_chunks(
+    generator: PowerTraceGenerator,
+    pair: CampaignPair,
+    config: TvlaConfig,
+    class_index: int,
+    first_chunk: int = 0,
+) -> Tuple[List[OnePassMoments], List[OnePassMoments]]:
+    """Fold one class's (sliced) campaign pair into per-chunk accumulators.
+
+    Same traces as :func:`accumulate_campaign_slice`, but every chunk gets
+    its **own** fresh accumulator pair instead of being folded into one
+    running pair.  Sharded counter campaigns return these unmerged so the
+    merge step can left-fold all chunks in global chunk order — the exact
+    associativity order of the serial run — which is what makes sharded
+    t-values bitwise equal to serial ones (not merely ~1e-12 close).
+    ``update_batch`` on an empty accumulator stores the batch moments
+    directly, so a chunk's single-update accumulator is itself bit-exact.
+
+    Returns:
+        ``(chunks0, chunks1)`` — one accumulator per chunk per group, in
+        local chunk order.
+    """
+    shape = (generator.n_gates,)
+    max_order = config.moment_order()
+    per_chunk: Tuple[List[OnePassMoments], List[OnePassMoments]] = ([], [])
+    sampler = resolve_sampler(config, generator)
+    for group_index, campaign in enumerate(pair):
+        n_local = (campaign.n_traces + config.chunk_traces - 1) // config.chunk_traces
+        kwargs = _group_stream_kwargs(config, sampler, class_index,
+                                      group_index, first_chunk, n_local)
+        for traces in generator.generate_stream(campaign, config.chunk_traces,
+                                                **kwargs):
+            accumulator = OnePassMoments(max_order=max_order, shape=shape)
+            accumulator.update_batch(traces.per_gate)
+            per_chunk[group_index].append(accumulator)
+    return per_chunk
 
 
 def results_from_accumulators(acc0: OnePassMoments, acc1: OnePassMoments,
@@ -417,12 +513,12 @@ def _class_results(generator: PowerTraceGenerator, pair: CampaignPair,
                                                class_index)
         return results_from_accumulators(acc0, acc1, config)
     blocks: Tuple[List[np.ndarray], List[np.ndarray]] = ([], [])
-    n_chunks = config.n_chunks()
+    sampler = resolve_sampler(config, generator)
     for group_index, campaign in enumerate(pair):
-        seeds = chunk_seed_streams(config.seed, class_index, group_index,
-                                   n_chunks)
+        kwargs = _group_stream_kwargs(config, sampler, class_index,
+                                      group_index, 0, config.n_chunks())
         for traces in generator.generate_stream(campaign, config.chunk_traces,
-                                                seeds=seeds):
+                                                **kwargs):
             blocks[group_index].append(traces.per_gate)
     return {1: welch_t_test(np.concatenate(blocks[0]),
                             np.concatenate(blocks[1]))}

@@ -9,17 +9,22 @@ Welch verdict (all configured TVLA orders).
 
 Three properties make the result trustworthy:
 
-* **Shard-layout invariance** — every chunk's mask/noise randomness comes
-  from a ``numpy.random.SeedSequence`` spawned per
-  ``(seed, class, group, chunk)`` (see
-  :func:`repro.tvla.assessment.chunk_seed_streams`), so shards generate
-  exactly the traces the serial run would.  For a given seed and
-  ``chunk_traces``, t-values agree with the unsharded streaming path to
-  floating-point merge error (~1e-12) for **any** shard count, and reruns
-  with a fixed shard count are bit-identical.
+* **Shard-layout invariance** — every chunk's mask/noise randomness is a
+  pure function of its ``(seed, class, group, chunk)`` coordinates: Philox
+  counter blocks under ``TvlaConfig.sampler="counter"`` (the default; see
+  :mod:`repro.power.ctrsample`), spawned ``numpy.random.SeedSequence``
+  streams under ``sampler="sequence"`` (see
+  :func:`repro.tvla.assessment.chunk_seed_streams`).  Shards therefore
+  generate exactly the traces the serial run would.
 * **Lossless merge** — partial accumulators combine with the exact pairwise
   Chan/Pébay formulas (:meth:`OnePassMoments.merge`), in deterministic
-  shard order.
+  shard order.  Under the sequence sampler each shard folds its chunks
+  into one running accumulator pair and t-values agree with the unsharded
+  streaming path to floating-point merge error (~1e-12).  Under the
+  counter sampler shards return **per-chunk** accumulators unmerged and
+  the merge left-folds them in global chunk order — the serial run's exact
+  association — so sharded t-values are **bitwise equal** to serial ones
+  for any shard count and executor.
 * **Pluggable executors** — ``"serial"`` (inline), ``"thread"``
   (:class:`~concurrent.futures.ThreadPoolExecutor`; workers share one
   read-only trace generator per design, or rebuild private ones when the
@@ -48,10 +53,12 @@ from .assessment import (
     CampaignPair,
     LeakageAssessment,
     TvlaConfig,
+    accumulate_campaign_chunks,
     accumulate_campaign_slice,
     aggregate_class_results,
     campaign_schedule,
     resolve_generator,
+    resolve_sampler,
     results_from_accumulators,
     validate_campaigns,
 )
@@ -64,8 +71,17 @@ EXECUTORS = ("serial", "thread", "process")
 ExecutorLike = Union[str, Executor]
 
 #: One shard's partial accumulators: per fixed class, a (group0, group1)
-#: pair of :class:`OnePassMoments`.
+#: pair of :class:`OnePassMoments` (sequence-sampler shards).
 ShardMoments = List[Tuple[OnePassMoments, OnePassMoments]]
+
+#: One counter-sampler shard's partials: per fixed class, a (group0,
+#: group1) pair of **per-chunk accumulator lists** in local chunk order,
+#: returned unmerged so the campaign merge can left-fold all chunks in
+#: global chunk order (the serial association — bitwise-equal results).
+ShardChunkMoments = List[Tuple[List[OnePassMoments], List[OnePassMoments]]]
+
+#: Either partial form; :func:`merge_shard_partials` dispatches on shape.
+ShardPartials = Union[ShardMoments, ShardChunkMoments]
 
 
 def shard_trace_ranges(n_traces: int, n_shards: int,
@@ -105,13 +121,21 @@ def shard_trace_ranges(n_traces: int, n_shards: int,
 
 def _shard_moments(generator: PowerTraceGenerator,
                    campaigns: Sequence[CampaignPair], config: TvlaConfig,
-                   start: int, stop: int) -> ShardMoments:
-    """Fold traces ``[start, stop)`` of every class into fresh accumulators."""
+                   start: int, stop: int) -> ShardPartials:
+    """Fold traces ``[start, stop)`` of every class into fresh accumulators.
+
+    Counter-sampler shards keep one accumulator **per chunk** (unmerged);
+    sequence-sampler shards fold their chunks into one running pair —
+    see :func:`merge_shard_partials` for why the forms differ.
+    """
     first_chunk = start // config.chunk_traces
-    partials: ShardMoments = []
+    accumulate = (accumulate_campaign_chunks
+                  if resolve_sampler(config, generator) == "counter"
+                  else accumulate_campaign_slice)
+    partials: ShardPartials = []
     for class_index, pair in enumerate(campaigns):
         sliced = (pair[0].slice(start, stop), pair[1].slice(start, stop))
-        partials.append(accumulate_campaign_slice(
+        partials.append(accumulate(
             generator, sliced, config, class_index, first_chunk=first_chunk))
     return partials
 
@@ -119,7 +143,7 @@ def _shard_moments(generator: PowerTraceGenerator,
 def _shard_moments_rebuilt(netlist: Netlist,
                            sliced_campaigns: Sequence[CampaignPair],
                            config: TvlaConfig, first_chunk: int,
-                           vectorised: bool = True) -> ShardMoments:
+                           vectorised: bool = True) -> ShardPartials:
     """Worker entry point that builds its own generator, then folds a shard.
 
     Module-level (picklable) and self-contained: the worker receives the
@@ -140,9 +164,12 @@ def _shard_moments_rebuilt(netlist: Netlist,
                                     seed=config.seed, vectorised=vectorised,
                                     sim_backend=config.sim_backend,
                                     power_backend=config.power_backend)
+    accumulate = (accumulate_campaign_chunks
+                  if resolve_sampler(config, generator) == "counter"
+                  else accumulate_campaign_slice)
     return [
-        accumulate_campaign_slice(generator, pair, config, class_index,
-                                  first_chunk=first_chunk)
+        accumulate(generator, pair, config, class_index,
+                   first_chunk=first_chunk)
         for class_index, pair in enumerate(sliced_campaigns)
     ]
 
@@ -155,7 +182,7 @@ class _ShardedDesign:
     config: TvlaConfig
     gate_names: Tuple[str, ...]
     started_at: float
-    futures: List["Future[ShardMoments]"]
+    futures: List["Future[ShardPartials]"]
 
 
 def _make_executor(executor: ExecutorLike,
@@ -229,10 +256,10 @@ def _submit_design(netlist: Netlist, config: TvlaConfig, n_shards: int,
     # but the gate order (and the vectorised flag to preserve) is a pure
     # function of the netlist + power plan, so derive both locally once.
     generator = resolve_generator(netlist, config, generator)
-    futures: List["Future[ShardMoments]"] = []
+    futures: List["Future[ShardPartials]"] = []
     if pool is None:
         for start, stop in ranges:
-            future: "Future[ShardMoments]" = Future()
+            future: "Future[ShardPartials]" = Future()
             future.set_result(
                 _shard_moments(generator, campaigns, config, start, stop))
             futures.append(future)
@@ -259,7 +286,7 @@ def _submit_design(netlist: Netlist, config: TvlaConfig, n_shards: int,
                           futures=futures)
 
 
-def merge_shard_partials(shard_results: Sequence[ShardMoments],
+def merge_shard_partials(shard_results: Sequence[ShardPartials],
                          config: TvlaConfig) -> List[Dict[int, WelchResult]]:
     """Merge per-shard accumulator sets into per-class Welch results.
 
@@ -268,16 +295,30 @@ def merge_shard_partials(shard_results: Sequence[ShardMoments],
     merge **in shard order** — deterministic association, so reruns,
     resumed campaigns and store-cached results with the same shard layout
     are all bit-identical.
+
+    Counter-sampler shards (:data:`ShardChunkMoments`, detected by shape)
+    carry per-chunk accumulators; since shard ranges are contiguous and
+    ascending, concatenating them in shard order lists every chunk in
+    global chunk order, and the left-fold below reproduces the serial
+    run's association exactly — ``update_batch`` on an empty accumulator
+    stores the batch moments directly and ``merge`` replays the very same
+    pairwise combine, so the merged accumulator (and every t-value) is
+    **bitwise equal** to the serial run's, independent of shard layout.
     """
     n_classes = len(shard_results[0])
+    per_chunk = isinstance(shard_results[0][0][0], list)
     class_results = []
     for class_index in range(n_classes):
         merged0: Optional[OnePassMoments] = None
         merged1: Optional[OnePassMoments] = None
         for partials in shard_results:
-            acc0, acc1 = partials[class_index]
-            merged0 = acc0 if merged0 is None else merged0.merge(acc0)
-            merged1 = acc1 if merged1 is None else merged1.merge(acc1)
+            group0, group1 = partials[class_index]
+            chunks0 = group0 if per_chunk else [group0]
+            chunks1 = group1 if per_chunk else [group1]
+            for acc0 in chunks0:
+                merged0 = acc0 if merged0 is None else merged0.merge(acc0)
+            for acc1 in chunks1:
+                merged1 = acc1 if merged1 is None else merged1.merge(acc1)
         class_results.append(results_from_accumulators(merged0, merged1,
                                                        config))
     return class_results
@@ -307,10 +348,12 @@ def assess_leakage_sharded(
     """Run one TVLA campaign split into ``n_shards`` parallel shards.
 
     Produces the same verdict as the unsharded streaming
-    :func:`~repro.tvla.assessment.assess_leakage` (t-values agree to
-    floating-point merge error, ~1e-12) for any shard count, because trace
-    randomness is keyed to global chunk indices rather than to a shared
-    sequential stream; see the module docstring.
+    :func:`~repro.tvla.assessment.assess_leakage` for any shard count,
+    because trace randomness is keyed to global chunk indices rather than
+    to a shared sequential stream: bitwise-equal t-values under the
+    counter sampler (per-chunk partials folded in the serial order),
+    floating-point merge error (~1e-12) under the sequence sampler; see
+    the module docstring.
 
     Args:
         netlist: The design to assess.

@@ -156,6 +156,36 @@ class TestMomentsSerialisation:
         with pytest.raises(ValueError, match="shard-moments"):
             unpack_shard_moments(b"garbage")
 
+    def test_per_chunk_shard_moments_round_trip(self, rng):
+        # Counter-sampler shards checkpoint UNMERGED per-chunk accumulator
+        # lists (the SHM2 wire format); the round-trip must preserve both
+        # the chunk structure and every accumulator bit-for-bit.
+        partials = []
+        for class_index in range(2):
+            groups = []
+            for _ in range(2):
+                chunks = []
+                for _ in range(3 - class_index):  # ragged chunk counts
+                    acc = OnePassMoments(max_order=4, shape=(5,))
+                    acc.update_batch(rng.normal(size=(12, 5)))
+                    chunks.append(acc)
+                groups.append(chunks)
+            partials.append((groups[0], groups[1]))
+        revived = unpack_shard_moments(pack_shard_moments(partials))
+        assert len(revived) == 2
+        for (chunks0, chunks1), (rev0, rev1) in zip(partials, revived):
+            assert len(rev0) == len(chunks0) and len(rev1) == len(chunks1)
+            for acc, rev in zip(chunks0 + chunks1, rev0 + rev1):
+                assert acc.to_bytes() == rev.to_bytes()
+
+    def test_per_chunk_payload_truncation_rejected(self, rng):
+        acc = OnePassMoments(max_order=2, shape=(3,))
+        acc.update_batch(rng.normal(size=(8, 3)))
+        payload = pack_shard_moments([([acc], [acc])])
+        assert payload.startswith(b"SHM2")
+        with pytest.raises(ValueError, match="truncated"):
+            unpack_shard_moments(payload[:-4])
+
 
 class TestOrderTwoFastPath:
     def test_bit_identical_to_general_path(self, rng):
@@ -669,6 +699,129 @@ class TestCampaignRunner:
     def test_submit_requires_netlist_or_spec(self, campaign_root):
         with pytest.raises(ValueError, match="netlist or a spec"):
             submit_campaign(campaign_root)
+
+
+# ----------------------------------------------------------------------
+# Sampler disciplines through the durable runner (PR 8)
+# ----------------------------------------------------------------------
+class TestSamplerCampaigns:
+    """Counter/sequence sampling through the spec, queue and resume path.
+
+    The counter discipline upgrades the campaign contract from ~1e-12
+    closeness to bitwise equality: a queue-backed distributed campaign,
+    a killed-and-resumed campaign and the in-process serial assessment
+    all produce ``np.array_equal`` t-values.  Sequence campaigns keep
+    their historical contract, and format-2 spec files (which predate the
+    ``sampler`` knob) keep loading as sequence campaigns.
+    """
+
+    def test_counter_queue_campaign_is_bitwise_serial(self, small_benchmark,
+                                                      campaign_root):
+        config = TvlaConfig(sampler="counter", **CAMPAIGN_TVLA)
+        reference = assess_leakage(small_benchmark, config)
+        result = run_campaign(campaign_root, small_benchmark, config,
+                              n_shards=3, n_workers=2)
+        assert np.array_equal(result.t_values, reference.t_values)
+        assert np.array_equal(result.mean_abs_t, reference.mean_abs_t)
+        assert np.array_equal(result.degrees_of_freedom,
+                              reference.degrees_of_freedom)
+
+    @pytest.mark.parametrize("sampler", ["counter", "sequence"])
+    def test_killed_and_resumed_campaign_bit_identical(self, small_benchmark,
+                                                       tmp_path, sampler):
+        # Kill after one shard, resubmit, finish: equal to an
+        # uninterrupted campaign bit for bit, under BOTH disciplines
+        # (the checkpointed partials and the merge order are identical).
+        config = TvlaConfig(sampler=sampler, **CAMPAIGN_TVLA)
+        interrupted_root = tmp_path / "interrupted"
+        clean_root = tmp_path / "clean"
+        outcome = submit_campaign(interrupted_root, netlist=small_benchmark,
+                                  config=config, n_shards=3)
+        run_worker(campaign_queue(interrupted_root), max_tasks=1, drain=True)
+        resumed = submit_campaign(interrupted_root, netlist=small_benchmark,
+                                  config=config, n_shards=3)
+        assert resumed.status == "resumed"
+        assert resumed.n_shards_done == 1
+        run_worker(campaign_queue(interrupted_root), drain=True)
+        result = collect_result(interrupted_root, outcome.spec_hash,
+                                timeout=60)
+        clean = run_campaign(clean_root, small_benchmark, config,
+                             n_shards=3, n_workers=1)
+        _assert_assessments_equal(result, clean)
+        if sampler == "counter":
+            # ...and for counter, the campaign is also bitwise-serial.
+            reference = assess_leakage(small_benchmark, config)
+            assert np.array_equal(result.t_values, reference.t_values)
+
+    def test_sampler_separates_content_hashes(self, small_benchmark,
+                                              campaign_config):
+        import dataclasses
+        counter = CampaignSpec.from_netlist(small_benchmark,
+                                            campaign_config, 2)
+        sequence = CampaignSpec.from_netlist(
+            small_benchmark,
+            dataclasses.replace(campaign_config, sampler="sequence"), 2)
+        assert counter.tvla.sampler == "counter"
+        assert counter.content_hash != sequence.content_hash
+
+    def test_format2_spec_loads_as_sequence_campaign(self, small_benchmark,
+                                                     campaign_config):
+        # A spec file written before the sampler knob existed: format 2,
+        # no "sampler" key, content hash over the format-2 payload.  It
+        # must load as a sequence campaign and re-verify its stored hash.
+        import dataclasses
+        import hashlib
+        legacy_config = dataclasses.replace(campaign_config,
+                                            sampler="sequence")
+        spec = CampaignSpec.from_netlist(small_benchmark, legacy_config, 3)
+        data = json.loads(spec.to_json())
+        data["format"] = 2
+        del data["tvla"]["sampler"]
+        data["content_hash"] = hashlib.sha256(
+            spec.canonical_payload(2).encode("utf-8")).hexdigest()
+        loaded = CampaignSpec.from_json(json.dumps(data))
+        assert loaded == spec
+        assert loaded.tvla.sampler == "sequence"
+
+    def test_format2_tampering_still_detected(self, small_benchmark,
+                                              campaign_config):
+        import dataclasses
+        import hashlib
+        legacy_config = dataclasses.replace(campaign_config,
+                                            sampler="sequence")
+        spec = CampaignSpec.from_netlist(small_benchmark, legacy_config, 3)
+        data = json.loads(spec.to_json())
+        data["format"] = 2
+        del data["tvla"]["sampler"]
+        data["content_hash"] = hashlib.sha256(
+            spec.canonical_payload(2).encode("utf-8")).hexdigest()
+        data["n_shards"] = 5
+        with pytest.raises(ValueError, match="hash mismatch"):
+            CampaignSpec.from_json(json.dumps(data))
+
+    def test_unknown_spec_format_rejected(self, small_benchmark,
+                                          campaign_config):
+        spec = CampaignSpec.from_netlist(small_benchmark, campaign_config, 2)
+        data = json.loads(spec.to_json())
+        data["format"] = 1
+        with pytest.raises(ValueError, match="unsupported campaign spec"):
+            CampaignSpec.from_json(json.dumps(data))
+
+    def test_cli_sampler_flag(self, campaign_root, capsys, small_benchmark,
+                              campaign_config):
+        import dataclasses
+        args = TestCli()._submit_args(campaign_root) + \
+            ["--sampler", "sequence"]
+        assert cli_main(args) == 0
+        spec_hash = capsys.readouterr().out.split()[1]
+        assert cli_main(["work", "--root", str(campaign_root),
+                         "--drain"]) == 0
+        result = collect_result(campaign_root, spec_hash, timeout=60)
+        reference = assess_leakage(
+            small_benchmark,
+            dataclasses.replace(campaign_config, sampler="sequence"))
+        np.testing.assert_allclose(result.t_values, reference.t_values,
+                                   rtol=1e-12, atol=1e-12)
 
 
 # ----------------------------------------------------------------------

@@ -238,6 +238,47 @@ class TestPL001Rng:
             rule_ids=["PL001"])
         assert codes(result) == ["PL001"]
 
+    def test_bare_philox_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\nbg = np.random.Philox()\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001"]
+        assert "without a seed or key" in result.findings[0].message
+
+    def test_philox_with_literal_none_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\nbg = np.random.Philox(None)\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001"]
+
+    def test_coordinate_keyed_philox_passes(self, tmp_path):
+        # The ctrsample seam: Philox keyed/countered from campaign
+        # coordinates is the sanctioned counter-sampler construction.
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\n"
+             "bg = np.random.Philox(key=0x1234, counter=[0, 1, 2, 3])\n"
+             "seeded = np.random.Philox(7)\n"
+             "from_seq = np.random.Philox(np.random.SeedSequence(9))\n"},
+            rule_ids=["PL001"])
+        assert result.clean
+
+    def test_philox_counter_alone_is_not_a_seed(self, tmp_path):
+        # counter= fixes the block position, not the keystream: without a
+        # key the construction still draws OS entropy.
+        result = run_lint(
+            tmp_path,
+            {"src/repro/mod.py":
+             "import numpy as np\n"
+             "bg = np.random.Philox(counter=[0, 0, 0, 0])\n"},
+            rule_ids=["PL001"])
+        assert codes(result) == ["PL001"]
+
 
 # ----------------------------------------------------------------------
 # PL002 — oracle pairing (cross-file)
@@ -276,11 +317,18 @@ def _oracle_repo_files(tmp_path):
             "        pass\n"
             "    def explain(self):\n"
             "        pass\n",
+        "src/repro/power/ctrsample.py":
+            "SAMPLERS = ('counter', 'sequence')\n"
+            "def philox_raw():\n"
+            "    pass\n"
+            "def philox_blocks_reference():\n"
+            "    pass\n",
         "tests/test_oracles.py":
             "# references: update_batch update_batch_naive packed unpacked\n"
             "# compiled loop generate generate_loop\n"
             "# predict_batch predict_value expectation_batch expectation\n"
-            "# explain_matrix explain\n",
+            "# explain_matrix explain\n"
+            "# philox_raw philox_blocks_reference counter sequence\n",
     }
 
 
@@ -322,7 +370,8 @@ class TestPL002Oracle:
             "# references: update_batch update_batch_naive packed unpacked\n"
             "# compiled loop generate\n"  # generate_loop dropped
             "# predict_batch predict_value expectation_batch expectation\n"
-            "# explain_matrix explain\n")
+            "# explain_matrix explain\n"
+            "# philox_raw philox_blocks_reference counter sequence\n")
         result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
         assert codes(result) == ["PL002"]
         assert "untested" in result.findings[0].message
@@ -334,7 +383,8 @@ class TestPL002Oracle:
             "# references: update_batch update_batch_naive packed unpacked\n"
             "# compiled loop generate_loop\n"
             "# predict_batch predict_value expectation_batch expectation\n"
-            "# explain_matrix explain\n")
+            "# explain_matrix explain\n"
+            "# philox_raw philox_blocks_reference counter sequence\n")
         result = run_lint(tmp_path, files, rule_ids=["PL002"], paths=["src"])
         assert codes(result) == ["PL002"]
 

@@ -32,6 +32,9 @@ NP_RANDOM_ALLOWED: Tuple[str, ...] = (
 #: randomness inside ``src/repro``.
 RNG_SEAM_FUNCTIONS: Tuple[str, ...] = (
     "chunk_seed_streams",
+    # PR 8: the counter sampler's single BitGenerator seam — Philox keyed
+    # by (seed, class, group, chunk, lane) coordinates, seedless by design.
+    "philox_bit_generator",
 )
 
 
@@ -82,6 +85,15 @@ ORACLE_PAIRS: Tuple[OraclePair, ...] = (
     # PR 7: batched SHAP matrix vs the per-sample explainer.
     OraclePair("tree-shap-explain", "src/repro/xai/tree_shap.py",
                "explain_matrix", "explain"),
+    # PR 8: native Philox word production vs the pure-numpy 10-round
+    # reference implementation of the 4x64 block function.
+    OraclePair("ctr-philox", "src/repro/power/ctrsample.py",
+               "philox_raw", "philox_blocks_reference"),
+    # PR 8: counter-based sampling discipline vs the frozen SeedSequence
+    # stream discipline (different draws by design — the sequence side is
+    # the stateless-contract oracle pinned byte-for-byte by regression).
+    OraclePair("mask-sampler", "src/repro/power/ctrsample.py",
+               "counter", "sequence", kind="string"),
 )
 
 

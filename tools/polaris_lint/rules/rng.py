@@ -74,6 +74,29 @@ class RngDisciplineRule(FileRule):
 
     # ------------------------------------------------------------------
     def _check_call(self, node: ast.Call, dotted: str) -> None:
+        if dotted.endswith("numpy.random.Philox") \
+                or dotted == "numpy.random.Philox":
+            # Philox is counter-based: a construction keyed from campaign
+            # coordinates (key=/counter=, or an explicit non-None seed) is
+            # the sanctioned ctrsample seam.  A bare Philox() falls back
+            # to OS entropy exactly like an unseeded default_rng().
+            if any(kw.arg is None for kw in node.keywords):
+                return  # **kwargs: cannot see the seed statically
+
+            def _entropy(value: ast.expr) -> bool:
+                return isinstance(value, ast.Constant) and value.value is None
+
+            seeded = bool(node.args) and not _entropy(node.args[0])
+            seeded = seeded or any(kw.arg in ("seed", "key")
+                                   and not _entropy(kw.value)
+                                   for kw in node.keywords)
+            if not seeded:
+                self.report(self.file, node,
+                            "np.random.Philox() without a seed or key draws "
+                            "OS entropy; key it from campaign coordinates "
+                            "(see repro.power.ctrsample."
+                            "philox_bit_generator)")
+            return
         if dotted.endswith("numpy.random.default_rng") \
                 or dotted == "numpy.random.default_rng":
             unseeded = not node.args and not node.keywords

@@ -618,6 +618,82 @@ def test_campaign_overhead_microbench(design, recorder, tmp_path):
     assert cache_seconds < durable_seconds
 
 
+def test_service_streaming_microbench(design, recorder, tmp_path):
+    """Per-frame cost of the live service's streaming path (informational).
+
+    Measures the two things the server does per streamed shard — the wire
+    codec round-trip of a real ``ShardPartial`` frame (the exact checkpoint
+    bytes, base64 in canonical JSON) and the interim fold (unpack + merge
+    present shards + aggregate into t-values) — and records them as
+    ``microbench_service`` in ``latest.json``.  Not gated: the numbers
+    document what live streaming costs per shard next to the shard's own
+    compute, they are not a regression anchor.
+    """
+    import base64
+
+    from repro.campaign import run_campaign
+    from repro.campaign.runner import CampaignPaths
+    from repro.campaign.serialize import unpack_shard_moments
+    from repro.service.protocol import (ShardPartial, decode_message,
+                                        encode_message)
+    from repro.tvla.assessment import aggregate_class_results
+    from repro.tvla.sharding import merge_shard_partials
+
+    config = TvlaConfig(n_traces=600, n_fixed_classes=2, seed=11,
+                        chunk_traces=150, streaming=True)
+    n_shards = 2
+    root = tmp_path / "campaigns"
+    reference = run_campaign(root, design, config, n_shards=n_shards,
+                             n_workers=n_shards)
+    from repro.campaign.spec import CampaignSpec
+    spec = CampaignSpec.from_netlist(design, config, n_shards=n_shards,
+                                     force_streaming=True)
+    paths = CampaignPaths(root, spec.content_hash)
+    payloads = [paths.shard_path(k).read_bytes() for k in range(n_shards)]
+
+    frame = ShardPartial(tenant="bench", spec_hash=spec.content_hash,
+                         shard_index=0,
+                         payload_b64=base64.b64encode(payloads[0]).decode(),
+                         worker="bench")
+    codec_loops = 200
+    codec_seconds = timeit.timeit(
+        lambda: decode_message(encode_message(frame)), number=codec_loops)
+
+    partials = [unpack_shard_moments(payload) for payload in payloads]
+    fold_loops = 20
+
+    def fold():
+        class_results = merge_shard_partials(partials, config)
+        return aggregate_class_results(class_results, design.name,
+                                       reference.gate_names, config, 0.0,
+                                       streamed=True, n_shards=n_shards)
+
+    fold_seconds = timeit.timeit(fold, number=fold_loops)
+    # The fold must reproduce the batch merge bitwise — the property the
+    # whole streaming design rests on.
+    assert np.array_equal(fold().t_values, reference.t_values)
+
+    rows = [
+        {"metric": "shard_partial_codec_roundtrip",
+         "frame_bytes": len(encode_message(frame)),
+         "seconds_per_op": codec_seconds / codec_loops},
+        {"metric": "interim_fold_all_shards",
+         "n_shards": n_shards,
+         "seconds_per_op": fold_seconds / fold_loops},
+    ]
+    recorder.record(ExperimentRecord(
+        experiment_id="microbench_service",
+        description=("Per-shard streaming cost of repro.service: wire "
+                     "codec round-trip of a real ShardPartial frame and "
+                     "the server's interim fold (merge + aggregate), on a "
+                     "2-shard 600-trace campaign"),
+        parameters={"scale": BENCH_SCALE, "n_traces": config.n_traces,
+                    "chunk_traces": config.chunk_traces,
+                    "n_shards": n_shards},
+        rows=rows,
+    ))
+
+
 def test_welch_two_pass_throughput(benchmark):
     rng = np.random.default_rng(0)
     group0 = rng.normal(size=(2000, 300))

@@ -13,7 +13,8 @@ setup(
     version="1.0.0",
     description=("Reproduction of POLARIS: XAI-guided power side-channel "
                  "leakage mitigation (DAC 2025), with distributed TVLA "
-                 "campaign orchestration"),
+                 "campaign orchestration and a live multi-tenant "
+                 "assessment service"),
     package_dir={"": "src", "polaris_lint": "tools/polaris_lint"},
     packages=find_packages("src") + ["polaris_lint", "polaris_lint.rules"],
     python_requires=">=3.10",

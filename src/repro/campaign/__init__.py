@@ -58,6 +58,7 @@ from .runner import (
     load_spec,
     run_campaign,
     run_shard_task,
+    set_shard_partial_hook,
     submit_campaign,
 )
 from .serialize import (
@@ -102,6 +103,7 @@ __all__ = [
     "run_campaign",
     "run_shard_task",
     "run_worker",
+    "set_shard_partial_hook",
     "submit_campaign",
     "tvla_config_from_dict",
     "tvla_config_to_dict",

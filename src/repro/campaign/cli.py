@@ -1,12 +1,12 @@
 """``polaris-campaign`` — the campaign orchestration command line.
 
-Five subcommands over a shared campaign root directory::
+Subcommands over a shared campaign root directory::
 
     polaris-campaign submit --root RUNS --benchmark des3 --traces 600 \\
         --chunk-traces 128 --shards 4
     polaris-campaign work   --root RUNS --drain          # run on N hosts
     polaris-campaign work   --root RUNS --forever --max-idle 300   # daemon
-    polaris-campaign status --root RUNS
+    polaris-campaign status --root RUNS [--json]
     polaris-campaign result --root RUNS <spec-hash>
     polaris-campaign gc     --root RUNS --max-age-days 30 --shards
 
@@ -14,10 +14,23 @@ Five subcommands over a shared campaign root directory::
 ``work`` serves the queue until stopped or drained (``--forever`` turns it
 into a daemon with exponential poll backoff; ``--max-idle`` bounds how
 long an idle worker lives, the CI-friendly cutoff), ``status`` shows shard
-progress, ``result`` waits for completion, merges the shard checkpoints,
-stores the assessment content-addressed, and prints the verdict, and
-``gc`` evicts old store objects and redundant shard checkpoints.  See
-``docs/campaigns.md`` for the full walkthrough.
+progress (``--json`` emits the stable machine-readable form), ``result``
+waits for completion, merges the shard checkpoints, stores the assessment
+content-addressed, and prints the verdict, and ``gc`` evicts old store
+objects and redundant shard checkpoints.
+
+The live-service verbs (see ``docs/service.md``)::
+
+    polaris-campaign serve  --root RUNS --port 7611
+    polaris-campaign work   --root RUNS --connect HOST:PORT --forever
+    polaris-campaign submit --root RUNS ... --follow --connect HOST:PORT
+    polaris-campaign watch  --connect HOST:PORT --tenant lab <spec-hash>
+
+``serve`` runs the asyncio front-end, ``work --connect`` attaches a
+worker that streams shard partials + heartbeats, ``submit --follow``
+submits through the service and renders the live interim t-value stream,
+and ``watch`` subscribes to an already-running campaign.  See
+``docs/campaigns.md`` for the batch walkthrough.
 """
 
 from __future__ import annotations
@@ -91,6 +104,15 @@ def _build_parser() -> argparse.ArgumentParser:
                              "invariant; sequence = legacy SeedSequence "
                              "streams; different samplers draw different "
                              "traces and hash differently)")
+    submit.add_argument("--tenant", default=None,
+                        help="tenant id: campaign lives under "
+                             "<root>/tenants/<tenant> with namespaced "
+                             "queue keys (default: the plain root)")
+    submit.add_argument("--follow", action="store_true",
+                        help="submit through a running service and stream "
+                             "live progress (requires --connect)")
+    submit.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="service endpoint for --follow")
 
     work = commands.add_parser(
         "work", help="serve the queue: claim, execute and ack shard tasks")
@@ -116,6 +138,30 @@ def _build_parser() -> argparse.ArgumentParser:
     work.add_argument("--max-idle", type=float, default=None,
                       help="exit after this many seconds without claiming "
                            "a task (CI cutoff for daemon workers)")
+    work.add_argument("--connect", default=None, metavar="HOST:PORT",
+                      help="attach to a running service: stream shard "
+                           "partials and heartbeats while draining the "
+                           "shared queue")
+    work.add_argument("--no-renew", action="store_true",
+                      help="disable half-lease heartbeat renewal "
+                           "(simulates pre-renewal workers; leases must "
+                           "then outlast one shard)")
+
+    serve = commands.add_parser(
+        "serve", help="run the live assessment service (asyncio TCP)")
+    serve.add_argument("--root", required=True, type=Path,
+                       help="shared service root (queue + tenant subroots)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (0 picks a free port; the bound "
+                            "port is printed on stdout)")
+
+    watch = commands.add_parser(
+        "watch", help="stream a running campaign's live progress")
+    watch.add_argument("--connect", required=True, metavar="HOST:PORT")
+    watch.add_argument("--tenant", default=None,
+                       help="tenant id (default: the shared default tenant)")
+    watch.add_argument("spec_hash")
 
     gc = commands.add_parser(
         "gc", help="evict old store results and redundant shard checkpoints")
@@ -141,6 +187,14 @@ def _build_parser() -> argparse.ArgumentParser:
     status.add_argument("--root", required=True, type=Path)
     status.add_argument("spec_hash", nargs="?", default=None,
                         help="restrict to one campaign")
+    status.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output: a JSON array of "
+                             "{spec_hash, state, design, n_traces, "
+                             "n_shards_done, n_shards_total, complete, "
+                             "failed_shards} objects (stable keys, see "
+                             "docs/campaigns.md)")
+    status.add_argument("--tenant", default=None,
+                        help="inspect one tenant's sub-root")
 
     result = commands.add_parser(
         "result", help="wait for, merge, store and print a campaign result")
@@ -150,10 +204,31 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="give up after this many seconds")
     result.add_argument("--json", action="store_true", dest="as_json",
                         help="print the full result as JSON")
+    result.add_argument("--tenant", default=None,
+                        help="collect from one tenant's sub-root")
     return parser
 
 
+def _parse_endpoint(value: str) -> tuple:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"error: --connect expects HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _tenant_scope(root: Path, tenant: Optional[str]):
+    """(campaign_root, queue, key_prefix) of one tenant under ``root``."""
+    if tenant is None:
+        return root, None, ""
+    from ..service.protocol import tenant_key_prefix, tenant_root
+    return (tenant_root(root, tenant), campaign_queue(root),
+            tenant_key_prefix(tenant))
+
+
 def _submit(args: argparse.Namespace) -> int:
+    if args.follow and args.connect is None:
+        print("error: --follow needs --connect HOST:PORT", file=sys.stderr)
+        return 2
     if args.benchmark is not None:
         netlist = load_benchmark(args.benchmark, scale=args.scale,
                                  seed=args.design_seed)
@@ -165,8 +240,12 @@ def _submit(args: argparse.Namespace) -> int:
                         tvla_order=args.order,
                         power_backend=args.power_backend,
                         sampler=args.sampler)
-    outcome = submit_campaign(args.root, netlist=netlist, config=config,
-                              n_shards=args.shards)
+    if args.follow:
+        return _submit_follow(args, netlist, config)
+    root, queue, prefix = _tenant_scope(args.root, args.tenant)
+    outcome = submit_campaign(root, netlist=netlist, config=config,
+                              n_shards=args.shards, queue=queue,
+                              shard_key_prefix=prefix)
     print(f"{outcome.status} {outcome.spec_hash}")
     print(f"  design       {outcome.spec.design_name}")
     print(f"  shards       {outcome.n_shards_done}/{outcome.n_shards_total} "
@@ -177,22 +256,95 @@ def _submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _submit_follow(args: argparse.Namespace, netlist, config) -> int:
+    from ..service.client import ServiceClient
+    from ..service.protocol import DEFAULT_TENANT
+    from .spec import CampaignSpec
+
+    host, port = _parse_endpoint(args.connect)
+    tenant = args.tenant or DEFAULT_TENANT
+    spec = CampaignSpec.from_netlist(netlist, config, n_shards=args.shards,
+                                     force_streaming=True)
+    with ServiceClient(host, port) as client:
+        accepted = client.submit(tenant, spec.to_json(), follow=True)
+        print(f"{accepted.status} {accepted.spec_hash} (tenant {tenant})",
+              flush=True)
+        return _render_stream(client)
+
+
+def _render_stream(client) -> int:
+    """Print live frames until the campaign completes (or errors)."""
+    from ..service.protocol import (CampaignComplete, CampaignProgress,
+                                    ServiceError)
+    from .serialize import assessment_from_dict
+
+    for frame in client.events():
+        if isinstance(frame, CampaignProgress):
+            shards = len(frame.shards_done)
+            print(f"progress {shards}/{frame.n_shards_total} shards  "
+                  f"max|t|={frame.max_abs_t:.3f}  "
+                  f"leaky={len(frame.leaking_gates)}", flush=True)
+        elif isinstance(frame, CampaignComplete):
+            assessment = assessment_from_dict(frame.assessment)
+            summary = assessment.summary()
+            print(f"complete {frame.spec_hash}")
+            print(f"  leaky gates  {assessment.n_leaky}/{summary['gates']}")
+            print(f"  max |t|      {summary['max_abs_t']:.3f}")
+            return 0
+        elif isinstance(frame, ServiceError):
+            print(f"service error [{frame.code}]: {frame.message}",
+                  file=sys.stderr, flush=True)
+            if frame.code != "internal":
+                return 1
+    print("stream closed before completion", file=sys.stderr)
+    return 1
+
+
 def _work(args: argparse.Namespace) -> int:
     if args.forever and args.drain:
         print("error: --forever and --drain are mutually exclusive",
               file=sys.stderr)
         return 2
-    queue = campaign_queue(args.root)
-    executed = run_worker(queue, worker=args.worker,
-                          max_tasks=args.max_tasks,
-                          poll_interval=args.poll_interval,
-                          lease_seconds=args.lease_seconds,
-                          drain=args.drain,
-                          forever=args.forever,
-                          max_poll_interval=args.max_poll_interval,
-                          max_idle=args.max_idle)
+    worker_kwargs = dict(worker=args.worker,
+                         max_tasks=args.max_tasks,
+                         poll_interval=args.poll_interval,
+                         lease_seconds=args.lease_seconds,
+                         drain=args.drain,
+                         forever=args.forever,
+                         max_poll_interval=args.max_poll_interval,
+                         max_idle=args.max_idle,
+                         renew_leases=not args.no_renew)
+    if args.connect is not None:
+        from ..service.worker import run_service_worker
+        host, port = _parse_endpoint(args.connect)
+        executed = run_service_worker(args.root, host, port,
+                                      **worker_kwargs)
+    else:
+        queue = campaign_queue(args.root)
+        executed = run_worker(queue, **worker_kwargs)
     print(f"worker exit: {executed} task(s) executed")
     return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from ..service.server import serve as run_service
+
+    def announce(host: str, port: int) -> None:
+        print(f"serving on {host}:{port}", flush=True)
+
+    run_service(args.root, host=args.host, port=args.port,
+                ready_callback=announce)
+    return 0
+
+
+def _watch(args: argparse.Namespace) -> int:
+    from ..service.client import ServiceClient
+    from ..service.protocol import DEFAULT_TENANT
+
+    host, port = _parse_endpoint(args.connect)
+    with ServiceClient(host, port) as client:
+        client.watch(args.tenant or DEFAULT_TENANT, args.spec_hash)
+        return _render_stream(client)
 
 
 def _gc(args: argparse.Namespace) -> int:
@@ -219,10 +371,29 @@ def _gc(args: argparse.Namespace) -> int:
 
 
 def _status(args: argparse.Namespace) -> int:
+    root, queue, prefix = _tenant_scope(args.root, args.tenant)
     if args.spec_hash is not None:
-        statuses = [campaign_status(args.root, args.spec_hash)]
+        statuses = [campaign_status(root, args.spec_hash, queue=queue,
+                                    shard_key_prefix=prefix)]
     else:
-        statuses = list_campaigns(args.root)
+        statuses = list_campaigns(root, queue=queue,
+                                  shard_key_prefix=prefix)
+    if args.as_json:
+        # The stable machine-readable form (documented in
+        # docs/campaigns.md): a JSON array, one object per campaign,
+        # exactly these keys.  CI scripts parse this instead of scraping
+        # the human text below.
+        print(json.dumps([{
+            "spec_hash": status.spec_hash,
+            "state": status.state,
+            "design": status.design_name,
+            "n_traces": status.n_traces,
+            "n_shards_done": status.n_shards_done,
+            "n_shards_total": status.n_shards_total,
+            "complete": status.complete,
+            "failed_shards": list(status.failed_shards),
+        } for status in statuses], indent=2))
+        return 0
     if not statuses:
         print("no campaigns submitted under this root")
         return 0
@@ -236,9 +407,11 @@ def _status(args: argparse.Namespace) -> int:
 
 
 def _result(args: argparse.Namespace) -> int:
+    root, queue, prefix = _tenant_scope(args.root, args.tenant)
     try:
-        assessment = collect_result(args.root, args.spec_hash,
-                                    timeout=args.timeout)
+        assessment = collect_result(root, args.spec_hash,
+                                    timeout=args.timeout, queue=queue,
+                                    shard_key_prefix=prefix)
     except (CampaignError, TimeoutError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -263,7 +436,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``polaris-campaign`` console script."""
     args = _build_parser().parse_args(argv)
     handlers = {"submit": _submit, "work": _work, "status": _status,
-                "result": _result, "gc": _gc}
+                "result": _result, "gc": _gc, "serve": _serve,
+                "watch": _watch}
     return handlers[args.command](args)
 
 

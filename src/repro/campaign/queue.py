@@ -17,6 +17,14 @@ Queue protocol (also documented in ``docs/campaigns.md``):
   ``lease_seconds``.  A task is runnable when ``pending``, or when
   ``leased`` with an **expired** lease (the worker died mid-shard); each
   claim increments the attempt counter and mints a fresh lease token.
+* ``renew`` extends the current lease — the worker heartbeat.  A live
+  worker whose task outlasts its lease keeps renewing (by default
+  :func:`run_worker` renews at half-lease intervals while executing), so
+  an expired lease really does mean "the worker died or froze": a
+  SIGSTOPped or crashed worker stops renewing, its lease lapses, and the
+  task is redelivered.  Renewal is token-checked exactly like ``ack``, so
+  a stale worker's renew fails instead of resurrecting a redelivered
+  task's old lease.
 * ``ack`` completes a task — but only with the token of the *current*
   lease.  If a slow-but-alive worker acks after its lease expired and the
   task was redelivered, the first valid ack wins and every later ack is a
@@ -62,10 +70,21 @@ CREATE TABLE IF NOT EXISTS tasks (
     result        BLOB,
     error         TEXT,
     enqueued_at   REAL NOT NULL,
-    done_at       REAL
+    done_at       REAL,
+    heartbeat_at  REAL,
+    renewals      INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS tasks_status ON tasks (status, id);
+CREATE INDEX IF NOT EXISTS tasks_lease ON tasks (status, lease_expires);
 """
+
+#: Heartbeat columns added after the first release of the queue schema;
+#: opening an old queue file adds them in place (``ALTER TABLE`` is cheap
+#: and idempotent here), so long-lived campaign roots keep working.
+_MIGRATION_COLUMNS = (
+    ("heartbeat_at", "REAL"),
+    ("renewals", "INTEGER NOT NULL DEFAULT 0"),
+)
 
 
 class TaskFailedError(RuntimeError):
@@ -119,9 +138,12 @@ class TaskQueue:
     Args:
         path: Database file; created (with parents) on first use.
         default_lease_seconds: Lease length handed out by :meth:`claim`
-            when the caller does not override it.  Make it comfortably
-            longer than one shard's compute time: an expired lease means
-            "the worker died" to every other worker.
+            when the caller does not override it.  Leases do **not** need
+            to exceed one task's compute time: a live worker renews its
+            lease at half-lease intervals (:meth:`renew`, on by default in
+            :func:`run_worker`), so the lease only has to outlast one
+            renewal gap.  Short leases mean dead workers are detected —
+            and their shards redelivered — quickly.
         default_max_attempts: Attempt budget of tasks enqueued without an
             explicit override.
     """
@@ -139,6 +161,12 @@ class TaskQueue:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self._connect() as connection:
             connection.executescript(_SCHEMA)
+            existing = {row[1] for row in
+                        connection.execute("PRAGMA table_info(tasks)")}
+            for column, declaration in _MIGRATION_COLUMNS:
+                if column not in existing:
+                    connection.execute(
+                        f"ALTER TABLE tasks ADD COLUMN {column} {declaration}")
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -245,12 +273,58 @@ class TaskQueue:
                 token = uuid.uuid4().hex
                 conn.execute(
                     "UPDATE tasks SET status = 'leased', attempts = ?,"
-                    " lease_token = ?, lease_expires = ?, worker = ?"
+                    " lease_token = ?, lease_expires = ?, worker = ?,"
+                    " heartbeat_at = ?, renewals = 0"
                     " WHERE id = ?",
-                    (attempts + 1, token, now + lease, worker, task_id))
+                    (attempts + 1, token, now + lease, worker, now, task_id))
                 return ClaimedTask(task_id=int(task_id), key=key,
                                    payload=payload, lease_token=token,
                                    attempts=int(attempts) + 1)
+
+    def renew(self, task_id: int, lease_token: str,
+              lease_seconds: Optional[float] = None) -> bool:
+        """Extend a live lease — the worker heartbeat.
+
+        Pushes ``lease_expires`` ``lease_seconds`` into the future (the
+        queue default when omitted), stamps ``heartbeat_at`` and counts
+        the renewal.  Token-checked exactly like :meth:`ack`: a worker
+        whose lease already expired and was redelivered holds a stale
+        token, so its renew returns False and cannot resurrect the old
+        lease out from under the new owner.
+
+        Returns:
+            True when the lease was extended; False for stale tokens (the
+            task was redelivered, completed elsewhere, or failed).
+        """
+        lease = (self.default_lease_seconds if lease_seconds is None
+                 else float(lease_seconds))
+        now = time.time()
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET lease_expires = ?, heartbeat_at = ?,"
+                " renewals = renewals + 1"
+                " WHERE id = ? AND lease_token = ? AND status = 'leased'",
+                (now + lease, now, task_id, lease_token))
+            return cursor.rowcount == 1
+
+    def lease_info(self, task_id: int) -> Optional[Dict[str, object]]:
+        """Lease bookkeeping of one task (worker, expiry, heartbeats).
+
+        Returns ``None`` for unknown ids; otherwise a dict with
+        ``status``, ``worker``, ``attempts``, ``lease_expires``,
+        ``heartbeat_at``, ``renewals`` and ``done_at`` — the observability
+        surface the service layer and the tests read.
+        """
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT status, worker, attempts, lease_expires,"
+                " heartbeat_at, renewals, done_at FROM tasks WHERE id = ?",
+                (task_id,)).fetchone()
+        if row is None:
+            return None
+        return {"status": row[0], "worker": row[1], "attempts": row[2],
+                "lease_expires": row[3], "heartbeat_at": row[4],
+                "renewals": row[5], "done_at": row[6]}
 
     def ack(self, task_id: int, lease_token: str, result: bytes) -> bool:
         """Complete a leased task; only the current lease's token counts.
@@ -356,6 +430,45 @@ class TaskQueue:
 # ----------------------------------------------------------------------
 # Worker loop (used by QueueExecutor threads and the CLI `work` command)
 # ----------------------------------------------------------------------
+class _LeaseRenewer:
+    """Background heartbeat that renews one claimed task's lease.
+
+    Runs in a daemon thread at half-lease intervals while the worker
+    executes the task, so the lease only expires when the worker really
+    dies (or is frozen, e.g. SIGSTOP — a stopped process stops renewing
+    too, which is exactly the liveness signal the queue wants).  Renewal
+    failures are swallowed: a stale token means the task was redelivered
+    and the eventual stale ack is already rejected by the queue.
+    """
+
+    def __init__(self, queue: "TaskQueue", task_id: int, lease_token: str,
+                 lease_seconds: float) -> None:
+        self._queue = queue
+        self._task_id = task_id
+        self._token = lease_token
+        self._lease = float(lease_seconds)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "_LeaseRenewer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._lease)
+
+    def _run(self) -> None:
+        interval = max(self._lease / 2.0, 0.01)
+        while not self._stop.wait(interval):
+            try:
+                if not self._queue.renew(self._task_id, self._token,
+                                         lease_seconds=self._lease):
+                    return  # stale token: the task moved on without us
+            except (sqlite3.Error, OSError):
+                pass  # transient queue I/O: the next beat retries
+
+
 def run_worker(queue: TaskQueue,
                worker: Optional[str] = None,
                max_tasks: Optional[int] = None,
@@ -365,7 +478,8 @@ def run_worker(queue: TaskQueue,
                stop_event: Optional[threading.Event] = None,
                forever: bool = False,
                max_poll_interval: float = 5.0,
-               max_idle: Optional[float] = None) -> int:
+               max_idle: Optional[float] = None,
+               renew_leases: bool = True) -> int:
     """Claim/execute/ack tasks until stopped; returns the executed count.
 
     Args:
@@ -392,6 +506,12 @@ def run_worker(queue: TaskQueue,
             (measured from startup or the last claim).  The CI-friendly
             cutoff for daemon workers: ``forever=True, max_idle=60`` keeps
             serving bursts but cannot outlive its pipeline job.
+        renew_leases: Heartbeat while executing (default on): a daemon
+            thread renews the claimed lease at half-lease intervals, so
+            leases no longer need to exceed one task's compute time — an
+            expired lease means the worker died or froze, not that the
+            shard was slow.  Disable only to *simulate* pre-renewal
+            workers in tests.
 
     Neither a raising task (reported via :meth:`TaskQueue.fail` and
     retried until its attempt budget runs out) nor transient queue I/O
@@ -438,14 +558,24 @@ def run_worker(queue: TaskQueue,
             continue
         sleep_for = poll_interval
         last_claim = time.monotonic()
+        renewer = None
+        if renew_leases:
+            lease = (queue.default_lease_seconds if lease_seconds is None
+                     else float(lease_seconds))
+            renewer = _LeaseRenewer(queue, task.task_id, task.lease_token,
+                                    lease).start()
         try:
             fn, args, kwargs = pickle.loads(task.payload)
             result = fn(*args, **kwargs)
             payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
+            if renewer is not None:
+                renewer.stop()
             _report_outcome(queue.fail, task.task_id, task.lease_token,
                             traceback.format_exc())
         else:
+            if renewer is not None:
+                renewer.stop()
             _report_outcome(queue.ack, task.task_id, task.lease_token,
                             payload)
         executed += 1

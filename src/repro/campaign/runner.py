@@ -35,7 +35,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..netlist.netlist import Netlist
 from ..tvla.assessment import (
@@ -82,10 +82,17 @@ def _publish_atomically(path: Path, data: bytes) -> None:
 
 @dataclass(frozen=True)
 class CampaignPaths:
-    """On-disk layout of one campaign under a shared root."""
+    """On-disk layout of one campaign under a shared root.
+
+    ``key_prefix`` namespaces the campaign's *queue* keys without moving
+    any files — the service layer sets it to ``tenant:<tenant>:`` so two
+    tenants submitting the same spec into one shared queue get disjoint
+    idempotency keys, while a given tenant's resubmissions still dedupe.
+    """
 
     root: Path
     spec_hash: str
+    key_prefix: str = ""
 
     @property
     def campaign_dir(self) -> Path:
@@ -104,7 +111,7 @@ class CampaignPaths:
 
     def shard_key(self, shard_index: int) -> str:
         """Idempotency key of one shard's queue task."""
-        return f"{self.spec_hash}:shard:{shard_index}"
+        return f"{self.key_prefix}{self.spec_hash}:shard:{shard_index}"
 
 
 def campaign_queue(root: Union[str, Path], **kwargs) -> TaskQueue:
@@ -164,7 +171,9 @@ def submit_campaign(root: Union[str, Path],
                     netlist: Optional[Netlist] = None,
                     config: Optional[TvlaConfig] = None,
                     n_shards: int = 2,
-                    spec: Optional[CampaignSpec] = None) -> SubmitOutcome:
+                    spec: Optional[CampaignSpec] = None,
+                    queue: Optional[TaskQueue] = None,
+                    shard_key_prefix: str = "") -> SubmitOutcome:
     """Register a campaign under ``root`` and enqueue its missing shards.
 
     Pass either a pre-built ``spec`` or a ``netlist`` (+ optional
@@ -174,6 +183,11 @@ def submit_campaign(root: Union[str, Path],
     are skipped, queued shards are not duplicated, and a campaign whose
     result is already in the store is reported ``"cached"`` without
     touching the queue.
+
+    ``queue``/``shard_key_prefix`` let a caller route the shard tasks into
+    a queue *other* than ``root/queue.sqlite`` under namespaced keys — the
+    multi-tenant service keeps per-tenant roots but one shared fleet-wide
+    queue.
     """
     root = Path(root)
     if spec is None:
@@ -182,7 +196,7 @@ def submit_campaign(root: Union[str, Path],
         spec = CampaignSpec.from_netlist(netlist, config, n_shards=n_shards,
                                          force_streaming=True)
     spec_hash = spec.content_hash
-    paths = CampaignPaths(root, spec_hash)
+    paths = CampaignPaths(root, spec_hash, key_prefix=shard_key_prefix)
     ranges = spec.shard_ranges()
 
     if campaign_store(root).has(spec_hash):
@@ -196,7 +210,8 @@ def submit_campaign(root: Union[str, Path],
     if not paths.spec_path.exists():
         _publish_atomically(paths.spec_path, spec.to_json().encode("utf-8"))
 
-    queue = campaign_queue(root)
+    if queue is None:
+        queue = campaign_queue(root)
     missing = [k for k in range(len(ranges))
                if not paths.shard_path(k).exists()]
     n_enqueued = 0
@@ -226,6 +241,42 @@ def submit_campaign(root: Union[str, Path],
 # ----------------------------------------------------------------------
 # The worker-side task (module-level: queue payloads must be picklable)
 # ----------------------------------------------------------------------
+# Per-process streaming seam: a service worker installs a hook that
+# forwards every published shard checkpoint to the server as a
+# ShardPartial frame.  The hook lives in the worker *process* (queue
+# payloads are pickled at submit time, so they cannot carry callbacks)
+# and is pure observation: the durable checkpoint is already on disk
+# before the hook runs, and hook failures are swallowed — a flaky
+# streaming socket must never fail or retry a finished shard.
+ShardPartialHook = Callable[[str, str, int, bytes], None]
+_shard_partial_hook: Optional[ShardPartialHook] = None
+
+
+def set_shard_partial_hook(hook: Optional[ShardPartialHook]) -> None:
+    """Install (or clear, with ``None``) this process's shard-partial hook.
+
+    The hook is called as ``hook(root, spec_hash, shard_index,
+    packed_bytes)`` after every shard checkpoint publish — including the
+    skip path of a duplicate delivery, whose already-published bytes are
+    re-announced so a server that missed the first announcement still
+    converges.  ``root`` is the campaign root the task ran against (the
+    service derives the tenant from it).
+    """
+    global _shard_partial_hook
+    _shard_partial_hook = hook
+
+
+def _notify_partial(root: str, spec_hash: str, shard_index: int,
+                    packed: bytes) -> None:
+    hook = _shard_partial_hook
+    if hook is None:
+        return
+    try:
+        hook(root, spec_hash, shard_index, packed)
+    except Exception:
+        pass  # observation only — never fail a checkpointed shard
+
+
 def run_shard_task(root: str, spec_hash: str,
                    shard_index: int) -> Dict[str, object]:
     """Compute one shard's partial accumulators and checkpoint them.
@@ -235,12 +286,23 @@ def run_shard_task(root: str, spec_hash: str,
     range, and atomically publishes the packed partial.  Idempotent: if
     the checkpoint already exists — e.g. this is a duplicate delivery
     whose first execution acked late — the recompute is skipped.
+
+    The ``POLARIS_SHARD_DELAY`` environment variable (seconds, float)
+    stretches every shard with a sleep *before* compute.  Test-only knob:
+    real shards finish in milliseconds, far too fast to deterministically
+    kill/stop a worker mid-shard or outlast a lease in fault-injection
+    tests and smoke scripts.
     """
+    delay = float(os.environ.get("POLARIS_SHARD_DELAY", "0") or 0)
     paths = CampaignPaths(Path(root), spec_hash)
     shard_path = paths.shard_path(shard_index)
     if shard_path.exists():
+        _notify_partial(root, spec_hash, shard_index,
+                        shard_path.read_bytes())
         return {"spec_hash": spec_hash, "shard": shard_index,
                 "skipped": True}
+    if delay > 0:
+        time.sleep(delay)
     spec = load_spec(root, spec_hash)
     config = spec.tvla
     netlist = spec.netlist()
@@ -256,9 +318,11 @@ def run_shard_task(root: str, spec_hash: str,
     started = time.perf_counter()
     partials = _shard_moments_rebuilt(netlist, sliced, config,
                                       start // config.chunk_traces)
+    packed = pack_shard_moments(partials)
     # Atomic all-or-nothing publish; duplicate deliveries racing here each
     # use a private temp file and produce identical bytes.
-    _publish_atomically(shard_path, pack_shard_moments(partials))
+    _publish_atomically(shard_path, packed)
+    _notify_partial(root, spec_hash, shard_index, packed)
     return {"spec_hash": spec_hash, "shard": shard_index, "skipped": False,
             "traces": stop - start, "seconds": time.perf_counter() - started}
 
@@ -289,14 +353,22 @@ class CampaignStatus:
         return "running"
 
 
-def campaign_status(root: Union[str, Path], spec_hash: str) -> CampaignStatus:
-    """Inspect one campaign's checkpoints, queue outcomes and store entry."""
+def campaign_status(root: Union[str, Path], spec_hash: str,
+                    queue: Optional[TaskQueue] = None,
+                    shard_key_prefix: str = "") -> CampaignStatus:
+    """Inspect one campaign's checkpoints, queue outcomes and store entry.
+
+    ``queue``/``shard_key_prefix`` mirror :func:`submit_campaign` — pass
+    the same pair the campaign was submitted with so failed-shard lookups
+    hit the right queue rows.
+    """
     root = Path(root)
     spec = load_spec(root, spec_hash)
-    paths = CampaignPaths(root, spec_hash)
+    paths = CampaignPaths(root, spec_hash, key_prefix=shard_key_prefix)
     ranges = spec.shard_ranges()
     done = [k for k in range(len(ranges)) if paths.shard_path(k).exists()]
-    queue = campaign_queue(root)
+    if queue is None:
+        queue = campaign_queue(root)
     failed = []
     for k in range(len(ranges)):
         if k in done:
@@ -311,12 +383,15 @@ def campaign_status(root: Union[str, Path], spec_hash: str) -> CampaignStatus:
                           failed_shards=tuple(failed))
 
 
-def list_campaigns(root: Union[str, Path]) -> List[CampaignStatus]:
+def list_campaigns(root: Union[str, Path],
+                   queue: Optional[TaskQueue] = None,
+                   shard_key_prefix: str = "") -> List[CampaignStatus]:
     """Status of every campaign submitted under ``root``."""
     campaigns_dir = Path(root) / "campaigns"
     if not campaigns_dir.exists():
         return []
-    return [campaign_status(root, path.name)
+    return [campaign_status(root, path.name, queue=queue,
+                            shard_key_prefix=shard_key_prefix)
             for path in sorted(campaigns_dir.iterdir())
             if (path / "spec.json").exists()]
 
@@ -345,7 +420,9 @@ def _merge_shard_files(paths: CampaignPaths, spec: CampaignSpec,
 
 def collect_result(root: Union[str, Path], spec_hash: str,
                    timeout: Optional[float] = None,
-                   poll_interval: float = 0.1) -> LeakageAssessment:
+                   poll_interval: float = 0.1,
+                   queue: Optional[TaskQueue] = None,
+                   shard_key_prefix: str = "") -> LeakageAssessment:
     """Wait for a campaign's shards, merge them, and store the result.
 
     Serves straight from the store when the campaign already completed
@@ -365,9 +442,10 @@ def collect_result(root: Union[str, Path], spec_hash: str,
     if cached is not None:
         return cached
     spec = load_spec(root, spec_hash)
-    paths = CampaignPaths(root, spec_hash)
+    paths = CampaignPaths(root, spec_hash, key_prefix=shard_key_prefix)
     ranges = spec.shard_ranges()
-    queue = campaign_queue(root)
+    if queue is None:
+        queue = campaign_queue(root)
     started_at = time.perf_counter()
     deadline = None if timeout is None else time.monotonic() + timeout
     while True:

@@ -1,0 +1,73 @@
+"""Live multi-tenant assessment service over the durable campaign layer.
+
+The campaign package (queue + checkpoints + store) is strictly
+submit/poll; this package adds the long-lived interactive layer on top:
+
+* :mod:`repro.service.protocol` — versioned typed messages with a
+  canonical newline-delimited-JSON wire codec and tenant namespacing;
+* :mod:`repro.service.server` — :class:`AssessmentService`, an asyncio
+  TCP server that accepts submissions, fans shards into the shared
+  queue, folds streamed :class:`ShardPartial` frames in global shard
+  order, and pushes live interim t-values to subscribers;
+* :mod:`repro.service.worker` — :func:`run_service_worker`, the
+  claim/execute loop with lease-renewal heartbeats plus partial/beacon
+  streams back to the server;
+* :mod:`repro.service.client` — the synchronous :class:`ServiceClient`
+  used by workers, CLI verbs (``polaris-campaign serve`` / ``submit
+  --follow`` / ``watch``) and tests.
+
+Everything is stdlib + numpy: the wire format is JSON lines over TCP,
+and all durability still lives in the campaign layer — the service can
+die and restart without losing a shard.  See ``docs/service.md``.
+"""
+
+from .client import ServiceClient, ServiceUnavailableError
+from .protocol import (
+    DEFAULT_TENANT,
+    PROTOCOL_VERSION,
+    CampaignAccepted,
+    CampaignComplete,
+    CampaignProgress,
+    Message,
+    ProtocolError,
+    ServiceError,
+    ShardPartial,
+    SubmitCampaign,
+    WatchCampaign,
+    WorkerHeartbeat,
+    decode_message,
+    encode_message,
+    read_frames,
+    tenant_key_prefix,
+    tenant_root,
+    validate_tenant,
+)
+from .server import AssessmentService, serve
+from .worker import run_service_worker, tenant_of_root
+
+__all__ = [
+    "AssessmentService",
+    "CampaignAccepted",
+    "CampaignComplete",
+    "CampaignProgress",
+    "DEFAULT_TENANT",
+    "Message",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "ShardPartial",
+    "SubmitCampaign",
+    "WatchCampaign",
+    "WorkerHeartbeat",
+    "decode_message",
+    "encode_message",
+    "read_frames",
+    "run_service_worker",
+    "serve",
+    "tenant_key_prefix",
+    "tenant_of_root",
+    "tenant_root",
+    "validate_tenant",
+]

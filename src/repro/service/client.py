@@ -1,0 +1,147 @@
+"""Synchronous service client (used by workers, the CLI, and tests).
+
+A thin, thread-safe wrapper over one TCP connection: sends are serialised
+by a lock, receives run a buffered newline scan through
+:func:`repro.service.protocol.read_frames`.  The client is deliberately
+synchronous — workers and CLI verbs are plain processes; only the server
+is an asyncio program.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Iterator, Optional
+
+from .protocol import (
+    CampaignAccepted,
+    Message,
+    ProtocolError,
+    ServiceError,
+    SubmitCampaign,
+    WatchCampaign,
+    encode_message,
+    read_frames,
+)
+
+
+class ServiceUnavailableError(ConnectionError):
+    """The service endpoint refused, dropped, or timed out."""
+
+
+class ServiceClient:
+    """One connection to an :class:`AssessmentService`.
+
+    Safe usage is one *receiving* thread; any number of threads may
+    :meth:`send`.  Use as a context manager::
+
+        with ServiceClient(host, port) as client:
+            accepted = client.submit(tenant, spec_json)
+            for frame in client.events():
+                ...
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = 30.0) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as error:
+            raise ServiceUnavailableError(
+                f"cannot reach service at {host}:{port}: {error}"
+            ) from error
+        self._send_lock = threading.Lock()
+        self._buffer = b""
+        self._pending: list = []
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Send one frame (thread-safe)."""
+        frame = encode_message(message)
+        with self._send_lock:
+            try:
+                self._sock.sendall(frame)
+            except OSError as error:
+                raise ServiceUnavailableError(
+                    f"connection to {self.host}:{self.port} lost: {error}"
+                ) from error
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Receive the next frame; ``None`` on clean EOF.
+
+        Raises:
+            ServiceUnavailableError: on socket errors or timeout.
+            ProtocolError: on an undecodable frame from the server.
+        """
+        if self._pending:
+            return self._pending.pop(0)
+        self._sock.settimeout(timeout)
+        while True:
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout as error:
+                raise ServiceUnavailableError(
+                    f"no frame from {self.host}:{self.port} within "
+                    f"{timeout}s") from error
+            except OSError as error:
+                raise ServiceUnavailableError(str(error)) from error
+            if not chunk:
+                return None
+            self._buffer += chunk
+            frames, self._buffer = read_frames(self._buffer)
+            if frames:
+                self._pending.extend(frames[1:])
+                return frames[0]
+
+    def events(self, timeout: Optional[float] = None
+               ) -> Iterator[Message]:
+        """Yield frames until EOF (or a per-frame timeout trips)."""
+        while True:
+            message = self.recv(timeout=timeout)
+            if message is None:
+                return
+            yield message
+
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, spec_json: str,
+               follow: bool = True,
+               timeout: Optional[float] = 30.0) -> CampaignAccepted:
+        """Submit a campaign; returns the accept frame.
+
+        Raises:
+            ProtocolError: when the server answers with a
+                :class:`ServiceError` instead of accepting.
+        """
+        self.send(SubmitCampaign(tenant=tenant, spec_json=spec_json,
+                                 follow=follow))
+        message = self.recv(timeout=timeout)
+        if isinstance(message, CampaignAccepted):
+            return message
+        if isinstance(message, ServiceError):
+            raise ProtocolError(
+                f"submission rejected [{message.code}]: {message.message}")
+        raise ProtocolError(
+            f"expected CampaignAccepted, got "
+            f"{type(message).__name__ if message else 'EOF'}")
+
+    def watch(self, tenant: str, spec_hash: str) -> None:
+        """Subscribe this connection to a campaign's stream."""
+        self.send(WatchCampaign(tenant=tenant, spec_hash=spec_hash))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["ServiceClient", "ServiceUnavailableError"]

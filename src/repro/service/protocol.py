@@ -1,0 +1,311 @@
+"""Typed wire protocol of the live assessment service.
+
+Every frame on the wire is one line of canonical JSON (sorted keys,
+compact separators, UTF-8) wrapped in a versioned envelope::
+
+    {"body": {...}, "type": "SubmitCampaign", "v": 1}\n
+
+The body is a frozen dataclass — construction *is* validation, and the
+codec round-trips each message through its declared fields only: unknown
+message types, version mismatches, missing fields and stray fields are
+all hard :class:`ProtocolError`\\ s rather than silently-ignored keys, so
+a version-2 peer cannot half-work against a version-1 server.  Canonical
+encoding also makes frames byte-stable: encoding the same message twice
+yields identical bytes, which the tests use to pin the wire format.
+
+Numeric payloads (shard accumulators, t-value arrays) ride inside bodies
+using the campaign layer's lossless encodings — base64 raw little-endian
+buffers via :mod:`repro.campaign.serialize` — so a t-value streamed
+through the service is *bitwise* the t-value the batch ``collect`` path
+produces.
+
+Tenant namespacing: every campaign-scoped message carries a validated
+``tenant`` id.  On the server a tenant maps to a private sub-root
+(``<root>/tenants/<tenant>`` — own store, own checkpoint tree) while all
+tenants share one fleet-wide task queue whose idempotency keys are
+prefixed ``tenant:<tenant>:`` (see :func:`tenant_key_prefix`), keeping
+cross-tenant specs with equal hashes from deduplicating into one task.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Type, Union
+
+PROTOCOL_VERSION = 1
+
+#: Tenant ids are path- and key-safe by construction: they appear in
+#: directory names and queue keys verbatim.
+_TENANT_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]{0,63}\Z")
+
+DEFAULT_TENANT = "default"
+
+
+class ProtocolError(ValueError):
+    """A frame violates the wire protocol (version, shape, or type)."""
+
+
+def validate_tenant(tenant: str) -> str:
+    """Return ``tenant`` if it is a legal tenant id, else raise.
+
+    Raises:
+        ProtocolError: for ids that are empty, too long (> 64 chars), or
+            contain characters unsafe in paths/queue keys.
+    """
+    if not isinstance(tenant, str) or not _TENANT_PATTERN.match(tenant):
+        raise ProtocolError(
+            f"invalid tenant id {tenant!r}: expected 1-64 chars of "
+            f"[A-Za-z0-9_-], starting alphanumeric")
+    return tenant
+
+
+def tenant_root(root: Union[str, Path], tenant: str) -> Path:
+    """The private campaign sub-root of one tenant (store + checkpoints)."""
+    return Path(root) / "tenants" / validate_tenant(tenant)
+
+
+def tenant_key_prefix(tenant: str) -> str:
+    """Queue-key namespace of one tenant in the shared fleet queue."""
+    return f"tenant:{validate_tenant(tenant)}:"
+
+
+# ----------------------------------------------------------------------
+# Message bodies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubmitCampaign:
+    """Client → server: register a campaign and enqueue missing shards.
+
+    ``spec_json`` is the self-contained :class:`CampaignSpec` JSON (the
+    server re-verifies its content hash); ``follow`` keeps the connection
+    subscribed for progress frames after the accept.
+    """
+
+    tenant: str
+    spec_json: str
+    follow: bool = True
+
+
+@dataclass(frozen=True)
+class CampaignAccepted:
+    """Server → client: the submission outcome (mirrors SubmitOutcome)."""
+
+    tenant: str
+    spec_hash: str
+    status: str  # "submitted" | "resumed" | "cached"
+    n_shards_total: int
+    n_shards_done: int
+    n_enqueued: int
+
+
+@dataclass(frozen=True)
+class WatchCampaign:
+    """Client → server: subscribe to an existing campaign's stream."""
+
+    tenant: str
+    spec_hash: str
+
+
+@dataclass(frozen=True)
+class ShardPartial:
+    """Worker → server: one shard's packed partial accumulators.
+
+    ``payload_b64`` is the base64 of the exact checkpoint bytes published
+    to ``shards/shard_NNNN.moments`` — the server folds the *same* bytes
+    the batch merge would read from disk.
+    """
+
+    tenant: str
+    spec_hash: str
+    shard_index: int
+    payload_b64: str
+    worker: str = ""
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """Server → subscribers: live progress with interim t-values.
+
+    ``t_values`` / ``order_t_values`` are lossless array encodings (see
+    :func:`repro.campaign.serialize.encode_array`) of the fold over the
+    shards listed in ``shards_done`` — after the final shard they are
+    bitwise equal to the collected assessment's arrays.  Empty dicts mean
+    no shard has reported yet.
+    """
+
+    tenant: str
+    spec_hash: str
+    n_shards_total: int
+    shards_done: Tuple[int, ...]
+    t_values: Dict[str, object]
+    order_t_values: Dict[str, Dict[str, object]]
+    max_abs_t: float
+    leaking_gates: Tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "shards_done",
+                           tuple(int(k) for k in self.shards_done))
+        object.__setattr__(self, "leaking_gates",
+                           tuple(str(g) for g in self.leaking_gates))
+
+
+@dataclass(frozen=True)
+class WorkerHeartbeat:
+    """Worker → server: liveness beacon with lease bookkeeping.
+
+    ``task_id`` is -1 between claims; ``renewals`` counts successful
+    :meth:`TaskQueue.renew` calls on the current lease.  The server uses
+    the beacon stream to surface flatlined workers (last beat older than
+    its flatline window) without touching the queue.
+    """
+
+    worker: str
+    tenant: str = ""
+    task_id: int = -1
+    renewals: int = 0
+    busy: bool = False
+
+
+@dataclass(frozen=True)
+class CampaignComplete:
+    """Server → subscribers: the final stored assessment.
+
+    ``assessment`` is :func:`repro.campaign.serialize.assessment_to_dict`
+    output — decoding it yields arrays bitwise equal to
+    ``collect_result``'s, because both sides read the same store entry.
+    """
+
+    tenant: str
+    spec_hash: str
+    assessment: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class ServiceError:
+    """Server → client: a request failed; the connection stays usable.
+
+    Stable ``code`` values: ``bad-frame``, ``bad-tenant``, ``bad-spec``,
+    ``unknown-campaign``, ``internal``.
+    """
+
+    code: str
+    message: str
+
+
+Message = Union[SubmitCampaign, CampaignAccepted, WatchCampaign,
+                ShardPartial, CampaignProgress, WorkerHeartbeat,
+                CampaignComplete, ServiceError]
+
+MESSAGE_TYPES: Dict[str, Type[Message]] = {
+    cls.__name__: cls
+    for cls in (SubmitCampaign, CampaignAccepted, WatchCampaign,
+                ShardPartial, CampaignProgress, WorkerHeartbeat,
+                CampaignComplete, ServiceError)
+}
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+def encode_message(message: Message) -> bytes:
+    """One canonical-JSON wire frame (newline-terminated UTF-8)."""
+    type_name = type(message).__name__
+    if MESSAGE_TYPES.get(type_name) is not type(message):
+        raise ProtocolError(f"not a protocol message: {type(message)!r}")
+    envelope = {"v": PROTOCOL_VERSION, "type": type_name,
+                "body": dataclasses.asdict(message)}
+    return (json.dumps(envelope, sort_keys=True,
+                       separators=(",", ":")).encode("utf-8") + b"\n")
+
+
+def decode_message(line: Union[str, bytes]) -> Message:
+    """Parse one wire frame back into its typed message.
+
+    Raises:
+        ProtocolError: for malformed JSON, a non-object envelope, an
+            unsupported version, an unknown type, or a body whose keys do
+            not exactly match the message's declared fields.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        envelope = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(envelope, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(envelope).__name__}")
+    version = envelope.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this peer speaks {PROTOCOL_VERSION})")
+    type_name = envelope.get("type")
+    cls = MESSAGE_TYPES.get(type_name)
+    if cls is None:
+        raise ProtocolError(f"unknown message type {type_name!r}")
+    body = envelope.get("body")
+    if not isinstance(body, dict):
+        raise ProtocolError(f"{type_name} body must be a JSON object")
+    declared = {field.name for field in dataclasses.fields(cls)}
+    required = {field.name for field in dataclasses.fields(cls)
+                if field.default is dataclasses.MISSING
+                and field.default_factory is dataclasses.MISSING}
+    extra = set(body) - declared
+    missing = required - set(body)
+    if extra or missing:
+        raise ProtocolError(
+            f"{type_name} body mismatch: "
+            f"missing={sorted(missing)} unexpected={sorted(extra)}")
+    try:
+        return cls(**body)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad {type_name} body: {error}") from error
+
+
+def read_frames(buffer: bytes) -> Tuple[Tuple[Message, ...], bytes]:
+    """Split a byte buffer into decoded frames + the unterminated tail.
+
+    The convenience for sans-io consumers (the sync client feeds its
+    socket recv chunks through this); newline-terminated frames decode
+    strictly, the trailing partial line is returned for the next call.
+    """
+    messages = []
+    while b"\n" in buffer:
+        line, buffer = buffer.split(b"\n", 1)
+        if line.strip():
+            messages.append(decode_message(line))
+    return tuple(messages), buffer
+
+
+def heartbeat_key(beat: WorkerHeartbeat) -> str:
+    """Stable identity of a beacon stream (one per worker process)."""
+    return beat.worker
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_TENANT",
+    "ProtocolError",
+    "Message",
+    "MESSAGE_TYPES",
+    "SubmitCampaign",
+    "CampaignAccepted",
+    "WatchCampaign",
+    "ShardPartial",
+    "CampaignProgress",
+    "WorkerHeartbeat",
+    "CampaignComplete",
+    "ServiceError",
+    "encode_message",
+    "decode_message",
+    "read_frames",
+    "heartbeat_key",
+    "validate_tenant",
+    "tenant_root",
+    "tenant_key_prefix",
+]

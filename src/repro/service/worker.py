@@ -1,0 +1,126 @@
+"""Service-attached worker: the claim/execute loop plus liveness streams.
+
+:func:`run_service_worker` is :func:`repro.campaign.queue.run_worker`
+(heartbeat lease renewal included) wrapped with two streams back to the
+server:
+
+* a :class:`WorkerHeartbeat` beacon thread — fleet liveness, so the
+  server can surface flatlined workers without polling the queue;
+* the shard-partial hook (:func:`set_shard_partial_hook`): every shard
+  checkpoint this process publishes is also streamed to the server as a
+  :class:`ShardPartial` carrying the checkpoint's exact bytes, which is
+  what makes live interim t-values bitwise-consistent with the batch
+  merge.
+
+Both streams are *observational*: if the service connection dies the
+worker keeps draining the queue — durability never depends on the
+server being up.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from ..campaign.queue import TaskQueue, run_worker
+from ..campaign.runner import set_shard_partial_hook
+from .client import ServiceClient, ServiceUnavailableError
+from .protocol import DEFAULT_TENANT, ShardPartial, WorkerHeartbeat
+
+
+def tenant_of_root(root: Union[str, Path]) -> str:
+    """Tenant id encoded in a campaign-root path.
+
+    Service tenants live under ``<shared>/tenants/<tenant>``; a root
+    outside any ``tenants/`` directory belongs to :data:`DEFAULT_TENANT`.
+    """
+    parts = Path(root).parts
+    for index in range(len(parts) - 1, 0, -1):
+        if parts[index - 1] == "tenants":
+            return parts[index]
+    return DEFAULT_TENANT
+
+
+class _HeartbeatThread:
+    """Daemon thread streaming WorkerHeartbeat frames to the server."""
+
+    def __init__(self, client: ServiceClient, worker: str,
+                 interval: float) -> None:
+        self._client = client
+        self._worker = worker
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.current_task_id = -1
+        self.current_tenant = ""
+
+    def start(self) -> "_HeartbeatThread":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2 * self._interval)
+
+    def _run(self) -> None:
+        while True:
+            try:
+                self._client.send(WorkerHeartbeat(
+                    worker=self._worker,
+                    tenant=self.current_tenant,
+                    task_id=self.current_task_id,
+                    busy=self.current_task_id >= 0))
+            except ServiceUnavailableError:
+                pass  # observational: the queue is the source of truth
+            if self._stop.wait(self._interval):
+                return
+
+
+def run_service_worker(root: Union[str, Path], host: str, port: int,
+                       worker: Optional[str] = None,
+                       heartbeat_interval: float = 0.2,
+                       **worker_kwargs) -> int:
+    """Drain the shared queue while streaming partials + heartbeats.
+
+    Args:
+        root: The *shared* service root (the queue lives at
+            ``root/queue.sqlite``; task payloads carry their own
+            per-tenant campaign roots).
+        host / port: The service endpoint to stream to.
+        worker: Worker id on leases and heartbeats (defaults to the pid).
+        heartbeat_interval: Seconds between liveness beacons.
+        **worker_kwargs: Forwarded to
+            :func:`repro.campaign.queue.run_worker` (``max_tasks``,
+            ``drain``, ``lease_seconds``, ``renew_leases``, ...).
+
+    Returns:
+        The number of executed tasks (like ``run_worker``).
+    """
+    root = Path(root)
+    worker_id = worker or f"service-worker-{os.getpid()}"
+    queue = TaskQueue(root / "queue.sqlite")
+    client = ServiceClient(host, port)
+    beacon = _HeartbeatThread(client, worker_id, heartbeat_interval)
+
+    def stream_partial(task_root: str, spec_hash: str, shard_index: int,
+                       packed: bytes) -> None:
+        client.send(ShardPartial(
+            tenant=tenant_of_root(task_root), spec_hash=spec_hash,
+            shard_index=shard_index,
+            payload_b64=base64.b64encode(packed).decode("ascii"),
+            worker=worker_id))
+
+    set_shard_partial_hook(stream_partial)
+    beacon.start()
+    try:
+        return run_worker(queue, worker=worker_id, **worker_kwargs)
+    finally:
+        beacon.stop()
+        set_shard_partial_hook(None)
+        client.close()
+
+
+__all__ = ["run_service_worker", "tenant_of_root"]

@@ -16,6 +16,7 @@ The contracts pinned here are what make campaigns trustworthy:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pickle
 import time
@@ -430,10 +431,150 @@ class TestTaskQueue:
         assert executed == 3
         assert queue.outstanding() == 0
 
+    # -- lease renewal (the worker heartbeat) --------------------------
+    def test_renew_extends_a_live_lease(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        queue.put(b"work")
+        task = queue.claim(worker="w1", lease_seconds=0.2)
+        before = queue.lease_info(task.task_id)
+        assert before["renewals"] == 0
+        assert queue.renew(task.task_id, task.lease_token,
+                           lease_seconds=30.0)
+        after = queue.lease_info(task.task_id)
+        assert after["renewals"] == 1
+        assert after["lease_expires"] > before["lease_expires"]
+        assert after["heartbeat_at"] >= before["heartbeat_at"]
+        # The renewed lease holds: no redelivery after the original span.
+        time.sleep(0.25)
+        assert queue.claim() is None
+        assert queue.ack(task.task_id, task.lease_token, b"ok")
+
+    def test_stale_renew_fails_like_stale_ack(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        queue.put(b"work")
+        slow = queue.claim(worker="slow", lease_seconds=0.01)
+        time.sleep(0.05)
+        fast = queue.claim(worker="fast")
+        # The redelivered claim rotated the token: the frozen worker's
+        # renew must not resurrect its lease out from under `fast`.
+        assert not queue.renew(slow.task_id, slow.lease_token)
+        assert queue.renew(fast.task_id, fast.lease_token)
+        assert queue.ack(fast.task_id, fast.lease_token, b"fast")
+        # ...and renewing a finished task is stale too.
+        assert not queue.renew(fast.task_id, fast.lease_token)
+
+    def test_reclaim_resets_heartbeat_bookkeeping(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        queue.put(b"work")
+        dead = queue.claim(worker="dead", lease_seconds=0.01)
+        assert queue.renew(dead.task_id, dead.lease_token,
+                           lease_seconds=0.01)
+        time.sleep(0.05)
+        alive = queue.claim(worker="alive")
+        info = queue.lease_info(alive.task_id)
+        assert info["renewals"] == 0  # fresh lease, fresh counters
+        assert info["worker"] == "alive"
+        assert queue.lease_info(99999) is None
+
+    def test_run_worker_renews_through_long_tasks(self, tmp_path):
+        # The PR 4 follow-up contract fix: the lease no longer needs to
+        # outlast a task.  A 0.15s lease survives a 0.5s task because
+        # run_worker heartbeats at half-lease intervals by default.
+        queue = TaskQueue(tmp_path / "q.sqlite",
+                          default_lease_seconds=0.15)
+        task_id = queue.put(pickle.dumps((_nap, (0.5,), {}))).task_id
+        executed = run_worker(queue, worker="renewer", drain=True)
+        assert executed == 1
+        info = queue.lease_info(task_id)
+        assert info["status"] == "done"
+        assert info["attempts"] == 1  # never redelivered
+        assert info["renewals"] >= 1
+
+    def test_run_worker_without_renewal_loses_long_tasks(self, tmp_path):
+        # The inverse documents why renewal is the default: without it a
+        # short lease expires mid-task, a competitor reclaims the task,
+        # and the legacy worker's late ack is fenced out as stale.
+        import threading
+        queue = TaskQueue(tmp_path / "q.sqlite",
+                          default_lease_seconds=0.15)
+        task_id = queue.put(pickle.dumps((_nap, (0.5,), {}))).task_id
+        legacy = threading.Thread(
+            target=run_worker,
+            kwargs=dict(queue=queue, worker="legacy", max_tasks=1,
+                        renew_leases=False))
+        legacy.start()
+        time.sleep(0.3)  # legacy is mid-task, its lease already expired
+        redelivered = queue.claim(worker="second")
+        assert redelivered is not None
+        assert redelivered.task_id == task_id
+        assert redelivered.attempts == 2
+        assert queue.ack(redelivered.task_id, redelivered.lease_token,
+                         b"second-result")
+        legacy.join(10)
+        # The legacy worker's ack (0.2s later) changed nothing.
+        assert queue.outcome(task_id) == ("done", b"second-result", None)
+        assert queue.lease_info(task_id)["worker"] == "second"
+
+    # -- claim-scan index ----------------------------------------------
+    def test_claim_query_uses_lease_index(self, tmp_path):
+        # The claim scan must stay O(log n) as queues grow: both OR
+        # branches (pending, expired-lease) have to ride the composite
+        # (status, lease_expires) index rather than scanning the table.
+        queue = TaskQueue(tmp_path / "q.sqlite")
+        for value in range(8):
+            queue.put(pickle.dumps((_double, (value,), {})))
+        with queue._connect() as conn:
+            plan = "\n".join(row[3] for row in conn.execute(
+                "EXPLAIN QUERY PLAN "
+                "SELECT id, key, payload, attempts, max_attempts "
+                "FROM tasks WHERE status = 'pending' "
+                "OR (status = 'leased' AND lease_expires < ?) "
+                "ORDER BY id LIMIT 1", (time.time(),)))
+        assert "tasks_lease" in plan
+        assert "SCAN tasks" not in plan.replace("SCAN tasks USING", "")
+
+    def test_old_databases_gain_heartbeat_columns(self, tmp_path):
+        # Queues created before the heartbeat columns existed must open
+        # cleanly: __init__ backfills via ALTER TABLE.
+        import sqlite3 as sqlite3_module
+        path = tmp_path / "old.sqlite"
+        with contextlib.closing(sqlite3_module.connect(path)) as conn:
+            conn.executescript("""
+                CREATE TABLE tasks (
+                    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+                    key           TEXT UNIQUE,
+                    payload       BLOB NOT NULL,
+                    status        TEXT NOT NULL DEFAULT 'pending',
+                    attempts      INTEGER NOT NULL DEFAULT 0,
+                    max_attempts  INTEGER NOT NULL DEFAULT 3,
+                    lease_token   TEXT,
+                    lease_expires REAL,
+                    worker        TEXT,
+                    result        BLOB,
+                    error         TEXT,
+                    enqueued_at   REAL NOT NULL,
+                    done_at       REAL
+                );
+                INSERT INTO tasks (payload, enqueued_at)
+                VALUES (x'00', 1.0);
+            """)
+            conn.commit()
+        queue = TaskQueue(path)
+        task = queue.claim(worker="migrated")
+        assert task is not None
+        assert queue.renew(task.task_id, task.lease_token)
+        assert queue.lease_info(task.task_id)["renewals"] == 1
+
 
 def _double(value):
     """Module-level task body (queue payloads must be picklable)."""
     return 2 * value
+
+
+def _nap(seconds):
+    """Module-level task body that outlasts short leases."""
+    time.sleep(seconds)
+    return seconds
 
 
 def _explode():
@@ -825,6 +966,93 @@ class TestSamplerCampaigns:
 
 
 # ----------------------------------------------------------------------
+# The slow-but-alive worker: SIGSTOP past lease expiry
+# ----------------------------------------------------------------------
+class TestSlowButAliveWorker:
+    @pytest.mark.parametrize("sampler", ["counter", "sequence"])
+    def test_sigstopped_worker_is_fenced_out(self, tmp_path, monkeypatch,
+                                             small_benchmark, sampler):
+        """SIGSTOP a worker mid-shard until its lease expires: the shard
+        is reclaimed and completed elsewhere, the resumed worker's stale
+        ack is rejected, and the result stays bit-identical — under both
+        samplers."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        monkeypatch.setenv("POLARIS_SHARD_DELAY", "1.1")
+        root = tmp_path / "runs"
+        config = TvlaConfig(sampler=sampler, **CAMPAIGN_TVLA)
+        outcome = submit_campaign(root, netlist=small_benchmark,
+                                  config=config, n_shards=2)
+        queue = campaign_queue(root)
+        src_dir = str(Path(__file__).resolve().parents[1] / "src")
+
+        # A pre-renewal worker (--no-renew) on a lease shorter than one
+        # 1.1s shard: it can only survive by finishing fast — and we
+        # freeze it instead.
+        frozen = subprocess.Popen(
+            [sys.executable, "-m", "repro.campaign.cli", "work",
+             "--root", str(root), "--max-tasks", "1",
+             "--lease-seconds", "0.6", "--no-renew"],
+            env={**os.environ, "PYTHONPATH": src_dir,
+                 "POLARIS_SHARD_DELAY": "1.1"},
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if queue.counts()["leased"] >= 1:
+                    break
+                time.sleep(0.02)
+            assert queue.counts()["leased"] == 1, \
+                "frozen worker never claimed a shard"
+            stopped_id = next(
+                task_id for task_id in (1, 2)
+                if queue.lease_info(task_id)["status"] == "leased")
+            time.sleep(0.25)  # well inside the 1.1s shard
+            os.kill(frozen.pid, signal.SIGSTOP)
+
+            # A stopped process stops renewing too: the lease expires
+            # while the worker is alive-but-frozen, and a healthy worker
+            # reclaims and completes the shard.
+            time.sleep(0.7)
+            executed = run_worker(queue, worker="rescuer", drain=True)
+            assert executed == 2
+            done = queue.lease_info(stopped_id)
+            assert done["status"] == "done"
+            assert done["worker"] == "rescuer"
+            assert done["attempts"] == 2  # frozen claim + reclaim
+
+            # Thaw the frozen worker: it finishes its sleep, recomputes
+            # the (identical) checkpoint, and tries to ack with a stale
+            # token — which must change nothing.
+            os.kill(frozen.pid, signal.SIGCONT)
+            stdout, _ = frozen.communicate(timeout=30)
+            assert frozen.returncode == 0
+            assert "1 task(s) executed" in stdout
+            unchanged = queue.lease_info(stopped_id)
+            assert unchanged == done  # stale ack rejected: row untouched
+        finally:
+            if frozen.poll() is None:
+                with contextlib.suppress(ProcessLookupError):
+                    os.kill(frozen.pid, signal.SIGCONT)
+                frozen.kill()
+                frozen.wait(10)
+
+        faulted = collect_result(root, outcome.spec_hash, timeout=30)
+
+        # Bit-identical to an undisturbed campaign of the same layout.
+        monkeypatch.delenv("POLARIS_SHARD_DELAY")
+        clean = run_campaign(tmp_path / "clean", small_benchmark, config,
+                             n_shards=2)
+        assert np.array_equal(faulted.t_values, clean.t_values)
+        assert np.array_equal(faulted.degrees_of_freedom,
+                              clean.degrees_of_freedom)
+
+
+# ----------------------------------------------------------------------
 # Content-addressed result store
 # ----------------------------------------------------------------------
 class TestResultStore:
@@ -989,6 +1217,42 @@ class TestCli:
     def test_status_empty_root(self, campaign_root, capsys):
         assert cli_main(["status", "--root", str(campaign_root)]) == 0
         assert "no campaigns" in capsys.readouterr().out
+
+    def test_status_json_stable_keys(self, campaign_root, capsys):
+        # The machine-readable contract CI scripts rely on: a JSON array
+        # with exactly these keys per campaign — no text scraping.
+        assert cli_main(self._submit_args(campaign_root)) == 0
+        spec_hash = capsys.readouterr().out.split()[1]
+        assert cli_main(["work", "--root", str(campaign_root),
+                         "--drain"]) == 0
+        capsys.readouterr()
+        assert cli_main(["status", "--root", str(campaign_root),
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        entry = payload[0]
+        assert sorted(entry) == ["complete", "design", "failed_shards",
+                                 "n_shards_done", "n_shards_total",
+                                 "n_traces", "spec_hash", "state"]
+        assert entry["spec_hash"] == spec_hash
+        assert entry["design"] == "des3"
+        assert entry["n_shards_done"] == entry["n_shards_total"] == 3
+        assert entry["state"] == "merging" and entry["complete"] is False
+        assert entry["failed_shards"] == []
+        # After collection the same keys flip to the complete state.
+        assert cli_main(["result", "--root", str(campaign_root),
+                         spec_hash, "--timeout", "30"]) == 0
+        capsys.readouterr()
+        assert cli_main(["status", "--root", str(campaign_root),
+                         spec_hash, "--json"]) == 0
+        entry = json.loads(capsys.readouterr().out)[0]
+        assert entry["state"] == "complete" and entry["complete"] is True
+
+    def test_status_json_empty_root_is_empty_array(self, campaign_root,
+                                                   capsys):
+        assert cli_main(["status", "--root", str(campaign_root),
+                         "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
 
     def test_result_timeout_is_an_error(self, campaign_root, capsys):
         assert cli_main(self._submit_args(campaign_root)) == 0

@@ -654,6 +654,113 @@ class TestPL005Resources:
             rule_ids=["PL005"])
         assert codes(result) == ["PL005"]
 
+    # -- asyncio resources (service layer) -----------------------------
+    def test_leaked_asyncio_server_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import asyncio\n"
+             "async def serve(handler):\n"
+             "    server = await asyncio.start_server(handler, 'x', 0)\n"
+             "    await asyncio.sleep(60)\n"},
+            rule_ids=["PL005"])
+        assert codes(result) == ["PL005"]
+        assert "start_server" in result.findings[0].message
+
+    def test_finally_closed_asyncio_server_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import asyncio\n"
+             "async def serve(handler):\n"
+             "    server = await asyncio.start_server(handler, 'x', 0)\n"
+             "    try:\n"
+             "        await server.serve_forever()\n"
+             "    finally:\n"
+             "        server.close()\n"
+             "        await server.wait_closed()\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_async_with_server_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import asyncio\n"
+             "async def serve(handler):\n"
+             "    async with await asyncio.start_server(handler, 'x', 0) "
+             "as server:\n"
+             "        await server.serve_forever()\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_leaked_background_task_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import asyncio\n"
+             "async def main(work):\n"
+             "    task = asyncio.create_task(work())\n"
+             "    await asyncio.sleep(1)\n"},
+            rule_ids=["PL005"])
+        assert codes(result) == ["PL005"]
+
+    def test_cancelled_background_task_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import asyncio\n"
+             "async def main(work):\n"
+             "    task = asyncio.create_task(work())\n"
+             "    try:\n"
+             "        await asyncio.sleep(1)\n"
+             "    finally:\n"
+             "        task.cancel()\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_attribute_ownership_transfer_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import asyncio\n"
+             "class Service:\n"
+             "    async def start(self, handler):\n"
+             "        self._server = await asyncio.start_server(\n"
+             "            handler, 'x', 0)\n"
+             "def attach(connection, work):\n"
+             "    connection.sender = asyncio.create_task(work())\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_stream_pair_writer_close_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import asyncio\n"
+             "async def ping(host, port):\n"
+             "    reader, writer = await asyncio.open_connection(host, "
+             "port)\n"
+             "    try:\n"
+             "        return await reader.readline()\n"
+             "    finally:\n"
+             "        writer.close()\n"
+             "        await writer.wait_closed()\n"},
+            rule_ids=["PL005"])
+        assert result.clean
+
+    def test_stream_pair_unreleased_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"mod.py":
+             "import asyncio\n"
+             "async def ping(host, port):\n"
+             "    reader, writer = await asyncio.open_connection(host, "
+             "port)\n"
+             "    return await reader.readline()\n"},
+            rule_ids=["PL005"])
+        assert codes(result) == ["PL005"]
+
 
 # ----------------------------------------------------------------------
 # PL006 — float equality

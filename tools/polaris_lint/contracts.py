@@ -119,4 +119,11 @@ RESOURCE_CONSTRUCTORS: Tuple[str, ...] = (
     "sqlite3.connect",
     "multiprocessing.shared_memory.SharedMemory",
     "shared_memory.SharedMemory",
+    # asyncio resources (the service layer): servers need close() +
+    # wait_closed(), stream pairs need the writer closed, background
+    # tasks need cancel() — or ownership transferred, same as above.
+    "asyncio.start_server",
+    "asyncio.open_connection",
+    "asyncio.create_task",
+    "socket.create_connection",
 )

@@ -1,12 +1,21 @@
 """PL005 — resource lifecycle.
 
-Executors, SQLite connections and shared-memory handles must be released on
-**all** paths: constructed inside a ``with`` (directly or via
-``contextlib.closing``), closed in a ``try``/``finally``, or handed off —
-returned to a caller that owns the lifecycle, or stored on ``self`` where
-the instance's own shutdown path takes over.  Anything else leaks worker
-processes, database handles or shared segments when an exception unwinds —
-exactly the failure PR 4 fixed for raised-in-shard campaigns.
+Executors, SQLite connections, shared-memory handles — and, since the
+service layer, asyncio servers/streams/tasks and raw sockets — must be
+released on **all** paths: constructed inside a ``with``/``async with``
+(directly or via ``contextlib.closing``), closed/cancelled in a
+``try``/``finally``, or handed off — returned to a caller that owns the
+lifecycle, or stored on an object attribute whose owner's shutdown path
+takes over.  Anything else leaks worker processes, database handles,
+shared segments, listening ports or forever-pending tasks when an
+exception unwinds — exactly the failure PR 4 fixed for raised-in-shard
+campaigns.
+
+asyncio specifics: an ``await``\\ ed constructor (``await
+asyncio.start_server(...)``) is unwrapped before the parent check, and a
+tuple-unpacked acquisition (``reader, writer = await
+asyncio.open_connection(...)``) passes when *any* unpacked name is
+released in scope — closing the writer closes the shared transport.
 """
 
 from __future__ import annotations
@@ -17,7 +26,8 @@ from typing import Optional
 from ..contracts import RESOURCE_CONSTRUCTORS
 from ..core import FileRule, Severity, register
 
-_CLOSE_METHODS = frozenset({"close", "shutdown", "terminate", "unlink"})
+_CLOSE_METHODS = frozenset({"close", "shutdown", "terminate", "unlink",
+                            "cancel", "wait_closed"})
 
 
 @register
@@ -49,6 +59,10 @@ class ResourceLifecycleRule(FileRule):
 
     def _has_release_path(self, node: ast.Call) -> bool:
         parent = self.file.parent(node)
+        # `await <ctor>(...)` — the coroutine wrapper is transparent for
+        # lifecycle purposes; the awaited result is the resource.
+        if isinstance(parent, ast.Await):
+            parent = self.file.parent(parent)
         # closing(<ctor>()) — unwrap and re-check the wrapper call.
         if isinstance(parent, ast.Call) and parent.func is not node:
             dotted = self.file.resolve_dotted(parent.func)
@@ -64,12 +78,24 @@ class ResourceLifecycleRule(FileRule):
             return True  # ownership transferred to the caller
         if isinstance(parent, ast.Assign):
             for target in parent.targets:
-                if isinstance(target, ast.Attribute) \
-                        and isinstance(target.value, ast.Name) \
-                        and target.value.id == "self":
-                    return True  # instance-owned; its shutdown path applies
+                if isinstance(target, ast.Attribute):
+                    # Stored on an object attribute: that object's
+                    # shutdown path owns the resource now (self._server,
+                    # connection.sender, ...).
+                    return True
                 if isinstance(target, ast.Name):
                     return self._released_in_scope(node, target.id)
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    # reader, writer = await open_connection(...): the
+                    # pair shares one transport — releasing any unpacked
+                    # name (the writer) releases the acquisition.
+                    names = [element.id for element in target.elts
+                             if isinstance(element, ast.Name)]
+                    if any(isinstance(element, ast.Attribute)
+                           for element in target.elts):
+                        return True
+                    return any(self._released_in_scope(node, name)
+                               for name in names)
         return False
 
     def _released_in_scope(self, node: ast.AST, name: str) -> bool:

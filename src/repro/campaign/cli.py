@@ -146,6 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="disable half-lease heartbeat renewal "
                            "(simulates pre-renewal workers; leases must "
                            "then outlast one shard)")
+    work.add_argument("--fault-plan", default=None, metavar="PLAN",
+                      help="deterministic fault-injection plan for this "
+                           "worker process (grammar in "
+                           "docs/reliability.md; equivalent to setting "
+                           "POLARIS_FAULT_PLAN)")
 
     serve = commands.add_parser(
         "serve", help="run the live assessment service (asyncio TCP)")
@@ -206,6 +211,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print the full result as JSON")
     result.add_argument("--tenant", default=None,
                         help="collect from one tenant's sub-root")
+    result.add_argument("--allow-partial", action="store_true",
+                        help="degrade instead of failing once every "
+                             "missing shard has exhausted its retries: "
+                             "merge the completed shards and report the "
+                             "failed ones (the partial result is not "
+                             "stored)")
     return parser
 
 
@@ -305,6 +316,14 @@ def _work(args: argparse.Namespace) -> int:
         print("error: --forever and --drain are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.fault_plan is not None:
+        from ..reliability.faults import FaultPlan, set_fault_plan
+        # Parse eagerly so a bad plan is a CLI error, not a mid-shard one.
+        try:
+            set_fault_plan(FaultPlan.parse(args.fault_plan))
+        except ValueError as error:
+            print(f"error: bad --fault-plan: {error}", file=sys.stderr)
+            return 2
     worker_kwargs = dict(worker=args.worker,
                          max_tasks=args.max_tasks,
                          poll_interval=args.poll_interval,
@@ -411,10 +430,15 @@ def _result(args: argparse.Namespace) -> int:
     try:
         assessment = collect_result(root, args.spec_hash,
                                     timeout=args.timeout, queue=queue,
-                                    shard_key_prefix=prefix)
+                                    shard_key_prefix=prefix,
+                                    allow_partial=args.allow_partial)
     except (CampaignError, TimeoutError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if assessment.failed_shards:
+        print(f"warning: degraded result — shard(s) "
+              f"{list(assessment.failed_shards)} failed and are excluded "
+              f"(not stored)", file=sys.stderr)
     if args.as_json:
         from .serialize import assessment_to_dict
         print(json.dumps(assessment_to_dict(assessment), indent=2))

@@ -53,6 +53,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..reliability import faults
+from ..reliability.policy import RetryPolicy
+
 #: Task states persisted in the queue database.
 TASK_STATES = ("pending", "leased", "done", "failed")
 
@@ -242,7 +245,13 @@ class TaskQueue:
         Runnable means ``pending`` or ``leased``-with-expired-lease; a
         reclaimed expired task whose attempt budget is already spent is
         marked ``failed`` instead of being handed out again.
+
+        The ``queue.claim`` fault site models the transient lock/IO
+        errors a busy shared SQLite file really produces; callers already
+        treat them as "no task this round".
         """
+        faults.maybe_error("queue.claim", sqlite3.OperationalError,
+                           "database is locked")
         worker = worker or f"pid-{os.getpid()}"
         lease = (self.default_lease_seconds if lease_seconds is None
                  else float(lease_seconds))
@@ -333,7 +342,13 @@ class TaskQueue:
             True when this ack completed the task; False for stale tokens
             and duplicate deliveries (first valid ack wins, later acks are
             no-ops).
+
+        The ``queue.ack`` fault site injects the same transient
+        ``sqlite3.OperationalError`` a contended database raises;
+        :func:`_report_outcome` absorbs it with the shared retry policy.
         """
+        faults.maybe_error("queue.ack", sqlite3.OperationalError,
+                           "database is locked")
         with self._connect() as conn:
             cursor = conn.execute(
                 "UPDATE tasks SET status = 'done', result = ?, done_at = ?,"
@@ -582,20 +597,24 @@ def run_worker(queue: TaskQueue,
     return executed
 
 
+#: Backoff for outcome reports: three attempts inside a fraction of the
+#: default lease, so a transiently locked database never costs a
+#: redelivery.
+_OUTCOME_RETRY = RetryPolicy(max_attempts=3, base_delay=0.05,
+                             max_delay=0.5, jitter=0.25)
+
+
 def _report_outcome(report, task_id: int, lease_token: str,
                     payload) -> None:
-    """Ack/fail with a short retry; give up to the lease, not the loop.
+    """Ack/fail via the shared retry policy; give up to the lease.
 
     If the queue stays unreachable the lease simply expires and the task
     is redelivered — at-least-once semantics make dropping the report
-    safe, while letting the exception escape would kill the worker.
+    safe (``reraise=False``), while letting the exception escape would
+    kill the worker.
     """
-    for attempt in range(3):
-        try:
-            report(task_id, lease_token, payload)
-            return
-        except (sqlite3.Error, OSError):
-            time.sleep(0.05 * (attempt + 1))
+    _OUTCOME_RETRY.call(lambda: report(task_id, lease_token, payload),
+                        retry_on=(sqlite3.Error, OSError), reraise=False)
 
 
 # ----------------------------------------------------------------------

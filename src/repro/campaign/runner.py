@@ -27,10 +27,8 @@ where it ran.
 
 from __future__ import annotations
 
-import os
 import pickle
 import shutil
-import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -38,6 +36,14 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..netlist.netlist import Netlist
+from ..reliability import faults
+from ..reliability.atomic import atomic_write_bytes
+from ..reliability.checkpoint import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    quarantine_checkpoint,
+    seal_checkpoint,
+)
 from ..tvla.assessment import (
     LeakageAssessment,
     TvlaConfig,
@@ -54,30 +60,6 @@ from .store import ResultStore
 
 class CampaignError(RuntimeError):
     """A campaign cannot make progress (e.g. a shard exhausted retries)."""
-
-
-def _publish_atomically(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` via a *unique* temp file + rename.
-
-    Concurrent writers of the same path (duplicate shard deliveries whose
-    first execution is still running) each get their own temp file, so the
-    loser of the rename race simply overwrites the winner's identical
-    bytes — a reader can never observe a torn or truncated file.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    handle, temp_path = tempfile.mkstemp(dir=path.parent,
-                                         prefix=f".{path.name}-",
-                                         suffix=".tmp")
-    try:
-        with os.fdopen(handle, "wb") as stream:
-            stream.write(data)
-        os.replace(temp_path, path)
-    except BaseException:
-        try:
-            os.unlink(temp_path)
-        except FileNotFoundError:
-            pass
-        raise
 
 
 @dataclass(frozen=True)
@@ -122,6 +104,43 @@ def campaign_queue(root: Union[str, Path], **kwargs) -> TaskQueue:
 def campaign_store(root: Union[str, Path]) -> ResultStore:
     """The content-addressed result store of a campaign root."""
     return ResultStore(Path(root) / "store")
+
+
+def verified_checkpoint(paths: CampaignPaths, shard_index: int,
+                        queue: Optional[TaskQueue] = None
+                        ) -> Optional[Tuple[bytes, tuple]]:
+    """One shard's verified checkpoint: ``(payload, partials)`` or ``None``.
+
+    Reads ``shards/shard_NNNN.moments``, checks its sha256 seal
+    (:mod:`repro.reliability.checkpoint`) and unpacks the payload.  A file
+    that fails either check — truncated by a torn write, tampered with, or
+    foreign bytes — is **quarantined** (renamed aside with a ``.corrupt``
+    suffix) and, when ``queue`` is given, the queue is mutated: the shard
+    task is requeued under the campaign's idempotent key.  The campaign
+    then heals by recomputing
+    instead of crashing the merge or silently folding bad bytes.  Missing
+    and quarantined checkpoints both return ``None``.
+    """
+    shard_path = paths.shard_path(shard_index)
+    try:
+        payload = load_checkpoint(shard_path)
+        partials = unpack_shard_moments(payload)
+    except FileNotFoundError:
+        return None
+    except (CheckpointCorruptError, ValueError):
+        try:
+            quarantine_checkpoint(shard_path)
+        except FileNotFoundError:
+            return None  # another participant quarantined it first
+        if queue is not None:
+            task = pickle.dumps(
+                (run_shard_task,
+                 (str(paths.root), paths.spec_hash, shard_index), {}),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            queue.put(task, key=paths.shard_key(shard_index),
+                      requeue_done=True)
+        return None
+    return payload, partials
 
 
 def load_spec(root: Union[str, Path], spec_hash: str) -> CampaignSpec:
@@ -208,12 +227,14 @@ def submit_campaign(root: Union[str, Path],
 
     paths.shards_dir.mkdir(parents=True, exist_ok=True)
     if not paths.spec_path.exists():
-        _publish_atomically(paths.spec_path, spec.to_json().encode("utf-8"))
+        atomic_write_bytes(paths.spec_path, spec.to_json().encode("utf-8"))
 
     if queue is None:
         queue = campaign_queue(root)
+    # Corrupt checkpoints are quarantined here and count as missing; the
+    # enqueue loop below then requeues them like any other absent shard.
     missing = [k for k in range(len(ranges))
-               if not paths.shard_path(k).exists()]
+               if verified_checkpoint(paths, k) is None]
     n_enqueued = 0
     for shard_index in missing:
         payload = pickle.dumps(
@@ -283,26 +304,38 @@ def run_shard_task(root: str, spec_hash: str,
 
     Rebuilds everything from ``spec.json`` (netlist, schedule, chunk RNG
     streams are all pure functions of the spec), folds the shard's trace
-    range, and atomically publishes the packed partial.  Idempotent: if
-    the checkpoint already exists — e.g. this is a duplicate delivery
-    whose first execution acked late — the recompute is skipped.
+    range, and durably publishes the sha256-sealed packed partial.
+    Idempotent: if a *verified* checkpoint already exists — e.g. this is a
+    duplicate delivery whose first execution acked late — the recompute is
+    skipped; a corrupt checkpoint is quarantined and recomputed in place.
 
-    The ``POLARIS_SHARD_DELAY`` environment variable (seconds, float)
-    stretches every shard with a sleep *before* compute.  Test-only knob:
-    real shards finish in milliseconds, far too fast to deterministically
-    kill/stop a worker mid-shard or outlast a lease in fault-injection
-    tests and smoke scripts.
+    Fault sites (``POLARIS_FAULT_PLAN``, docs/reliability.md): the
+    ``worker.shard`` site fires before compute (``delay`` stretches the
+    shard, ``crash`` SIGKILLs the worker mid-shard, ``error`` fails the
+    attempt so queue retries engage) and ``checkpoint.write`` mangles the
+    published bytes.  The legacy ``POLARIS_SHARD_DELAY`` knob (seconds,
+    float) is honoured as a ``worker.shard`` delay rule.
     """
-    delay = float(os.environ.get("POLARIS_SHARD_DELAY", "0") or 0)
     paths = CampaignPaths(Path(root), spec_hash)
     shard_path = paths.shard_path(shard_index)
     if shard_path.exists():
-        _notify_partial(root, spec_hash, shard_index,
-                        shard_path.read_bytes())
-        return {"spec_hash": spec_hash, "shard": shard_index,
-                "skipped": True}
-    if delay > 0:
-        time.sleep(delay)
+        try:
+            payload = load_checkpoint(shard_path)
+            unpack_shard_moments(payload)
+        except (CheckpointCorruptError, ValueError):
+            try:
+                quarantine_checkpoint(shard_path)
+            except FileNotFoundError:
+                pass  # a concurrent participant quarantined it first
+        else:
+            _notify_partial(root, spec_hash, shard_index, payload)
+            return {"spec_hash": spec_hash, "shard": shard_index,
+                    "skipped": True}
+    rule = faults.perturb("worker.shard")
+    if rule is not None and rule.mode == "error":
+        raise CampaignError(
+            f"injected fault at worker.shard: shard {shard_index} of "
+            f"campaign {spec_hash[:12]}… failed")
     spec = load_spec(root, spec_hash)
     config = spec.tvla
     netlist = spec.netlist()
@@ -319,9 +352,12 @@ def run_shard_task(root: str, spec_hash: str,
     partials = _shard_moments_rebuilt(netlist, sliced, config,
                                       start // config.chunk_traces)
     packed = pack_shard_moments(partials)
-    # Atomic all-or-nothing publish; duplicate deliveries racing here each
-    # use a private temp file and produce identical bytes.
-    _publish_atomically(shard_path, packed)
+    # Durable all-or-nothing publish (fsync before rename); duplicate
+    # deliveries racing here each use a private temp file and produce
+    # identical bytes.  The hook receives the *payload* — the seal trailer
+    # is a property of the file, not of the streamed partial.
+    atomic_write_bytes(shard_path, seal_checkpoint(packed),
+                       fault_site="checkpoint.write")
     _notify_partial(root, spec_hash, shard_index, packed)
     return {"spec_hash": spec_hash, "shard": shard_index, "skipped": False,
             "traces": stop - start, "seconds": time.perf_counter() - started}
@@ -396,9 +432,9 @@ def list_campaigns(root: Union[str, Path],
             if (path / "spec.json").exists()]
 
 
-def _merge_shard_files(paths: CampaignPaths, spec: CampaignSpec,
-                       started_at: float) -> LeakageAssessment:
-    """Merge all shard checkpoints into the final assessment.
+def _merge_shard_results(shard_results: List[tuple], spec: CampaignSpec,
+                         started_at: float) -> LeakageAssessment:
+    """Merge verified shard partials into the final assessment.
 
     Delegates to :func:`repro.tvla.sharding.merge_shard_partials` — the
     same merge (same shard-order association) the in-process driver uses,
@@ -406,34 +442,45 @@ def _merge_shard_files(paths: CampaignPaths, spec: CampaignSpec,
     uninterrupted one with the same layout.
     """
     config = spec.tvla
-    ranges = spec.shard_ranges()
-    shard_results = [unpack_shard_moments(paths.shard_path(k).read_bytes())
-                     for k in range(len(ranges))]
     class_results = merge_shard_partials(shard_results, config)
     netlist = spec.netlist()
     generator = resolve_generator(netlist, config, None)
     return aggregate_class_results(class_results, spec.design_name,
                                    generator.gate_names, config,
                                    time.perf_counter() - started_at,
-                                   streamed=True, n_shards=len(ranges))
+                                   streamed=True,
+                                   n_shards=len(spec.shard_ranges()))
 
 
 def collect_result(root: Union[str, Path], spec_hash: str,
                    timeout: Optional[float] = None,
                    poll_interval: float = 0.1,
                    queue: Optional[TaskQueue] = None,
-                   shard_key_prefix: str = "") -> LeakageAssessment:
+                   shard_key_prefix: str = "",
+                   allow_partial: bool = False) -> LeakageAssessment:
     """Wait for a campaign's shards, merge them, and store the result.
 
     Serves straight from the store when the campaign already completed
     (bit-identical to the original run).  Otherwise polls the checkpoint
-    directory until every shard partial exists, merges them in shard
-    order, publishes the assessment to the content-addressed store and
-    returns the stored copy.
+    directory until every shard holds a *verified* partial — corrupt
+    checkpoints are quarantined and their shards requeued
+    (:func:`verified_checkpoint`), so a torn or tampered file delays the
+    collect rather than poisoning it — then merges in shard order,
+    publishes the assessment to the content-addressed store and returns
+    the stored copy.
+
+    With ``allow_partial=True`` a poisoned campaign degrades instead of
+    raising: once every still-missing shard has terminally failed (retries
+    exhausted) and at least one shard succeeded, the completed shards are
+    merged and returned with :attr:`LeakageAssessment.failed_shards`
+    naming the casualties.  The degraded result is **not** stored — a
+    resubmission after the fault is fixed recomputes the full campaign.
 
     Raises:
         CampaignError: when a shard task exhausted its retries (the worker
-            traceback is included) — waiting longer cannot help.
+            traceback is included) — waiting longer cannot help.  With
+            ``allow_partial`` this is only raised when *no* shard
+            completed.
         TimeoutError: when ``timeout`` elapses first.
     """
     root = Path(root)
@@ -448,23 +495,45 @@ def collect_result(root: Union[str, Path], spec_hash: str,
         queue = campaign_queue(root)
     started_at = time.perf_counter()
     deadline = None if timeout is None else time.monotonic() + timeout
+    verified: Dict[int, tuple] = {}
     while True:
-        missing = [k for k in range(len(ranges))
-                   if not paths.shard_path(k).exists()]
+        missing = []
+        for shard_index in range(len(ranges)):
+            if shard_index in verified:
+                continue  # checkpoints are immutable once verified
+            found = verified_checkpoint(paths, shard_index, queue=queue)
+            if found is None:
+                missing.append(shard_index)
+            else:
+                verified[shard_index] = found[1]
         if not missing:
             break
+        failed, failure = [], None
         for shard_index in missing:
             outcome = queue.outcome_by_key(paths.shard_key(shard_index))
             if outcome is not None and outcome[0] == "failed":
+                failed.append(shard_index)
+                if failure is None:
+                    failure = (shard_index, outcome[2])
+        if failed:
+            if allow_partial and len(failed) == len(missing) and verified:
+                # Every outstanding shard is terminally dead: degrade.
+                assessment = _merge_shard_results(
+                    [verified[k] for k in sorted(verified)], spec,
+                    started_at)
+                assessment.failed_shards = tuple(failed)
+                return assessment  # degraded — deliberately not stored
+            if not allow_partial or not verified:
                 raise CampaignError(
-                    f"shard {shard_index} of campaign {spec_hash[:12]}… "
-                    f"exhausted its retries:\n{outcome[2]}")
+                    f"shard {failure[0]} of campaign {spec_hash[:12]}… "
+                    f"exhausted its retries:\n{failure[1]}")
         if deadline is not None and time.monotonic() > deadline:
             raise TimeoutError(
                 f"campaign {spec_hash[:12]}… still missing shards "
                 f"{missing} after {timeout:.1f}s")
         time.sleep(poll_interval)
-    assessment = _merge_shard_files(paths, spec, started_at)
+    assessment = _merge_shard_results(
+        [verified[k] for k in sorted(verified)], spec, started_at)
     store.put(spec_hash, assessment, metadata={
         "design_name": spec.design_name,
         "n_shards": len(ranges),

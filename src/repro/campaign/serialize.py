@@ -172,6 +172,7 @@ def assessment_to_dict(assessment: LeakageAssessment) -> Dict[str, object]:
                            for order, values in
                            sorted(assessment.order_t_values.items())},
         "n_shards": assessment.n_shards,
+        "failed_shards": list(assessment.failed_shards),
     }
 
 
@@ -192,4 +193,7 @@ def assessment_from_dict(data: Dict[str, object]) -> LeakageAssessment:
         order_t_values={int(order): decode_array(values)
                         for order, values in data["order_t_values"].items()},
         n_shards=data["n_shards"],
+        # .get(): objects stored before degraded results existed carry no
+        # failed_shards key and are, by definition, complete.
+        failed_shards=tuple(data.get("failed_shards", ())),
     )

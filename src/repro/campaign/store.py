@@ -7,19 +7,20 @@ store is **write-once**: the first put of a hash wins and later puts are
 no-ops, so a cached campaign is always served exactly as the run that
 produced it — arrays round-trip through raw byte buffers
 (:mod:`repro.campaign.serialize`), making hits bit-identical, not merely
-close.  Writes go through a temp file + :func:`os.replace`, so concurrent
-workers and killed processes can never leave a torn object behind.
+close.  Writes go through the shared durable publish helper
+(:func:`repro.reliability.atomic.publish_exclusive`: temp file, fsync,
+first-wins link, directory fsync), so concurrent workers, killed
+processes and power loss can never leave a torn object behind.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import time
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
+from ..reliability.atomic import publish_exclusive
 from ..tvla.assessment import LeakageAssessment
 from .serialize import assessment_from_dict, assessment_to_dict
 
@@ -98,7 +99,6 @@ class ResultStore:
         path = self.object_path(key)
         if path.exists():
             return False
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({
             "format": STORE_FORMAT,
             "key": key,
@@ -106,26 +106,14 @@ class ResultStore:
             "metadata": metadata or {},
             "assessment": assessment_to_dict(assessment),
         }, sort_keys=True)
-        # Atomic create-exclusive publish: the object appears whole or not
-        # at all, and when two writers race on one key the *first* link
-        # wins — os.link refuses to overwrite, unlike os.replace — so the
-        # stored object really is the run that got there first.
-        handle, temp_path = tempfile.mkstemp(dir=path.parent,
-                                             prefix=f".{key[:8]}-",
-                                             suffix=".tmp")
-        try:
-            with os.fdopen(handle, "w") as stream:
-                stream.write(payload)
-            try:
-                os.link(temp_path, path)
-            except FileExistsError:
-                return False
-        finally:
-            try:
-                os.unlink(temp_path)
-            except FileNotFoundError:
-                pass
-        return True
+        # Durable create-exclusive publish: the object appears whole or
+        # not at all (fsync before link), and when two writers race on one
+        # key the *first* link wins — os.link refuses to overwrite, unlike
+        # os.replace — so the stored object really is the run that got
+        # there first.  The "store.write" fault site mangles the payload
+        # under an active FaultPlan.
+        return publish_exclusive(path, payload.encode("utf-8"),
+                                 fault_site="store.write")
 
     # ------------------------------------------------------------------
     def created_at(self, key: str) -> Optional[float]:

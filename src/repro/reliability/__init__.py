@@ -1,0 +1,72 @@
+"""Deterministic fault injection and failure-domain hardening.
+
+The campaign/service stack claims that distributed, resumable, streaming
+TVLA is *bitwise* equal to the serial oracle.  This package makes that
+claim testable under failure: a seeded, coordinate-addressed
+:class:`FaultPlan` injects faults at named sites (checkpoint writes,
+store writes, queue claim/ack, service frame I/O, worker crash points)
+with the same Philox counter discipline as ``repro.power.ctrsample`` —
+so a chaos run is exactly as reproducible as a clean one.
+
+Alongside injection live the shared hardening primitives the rest of the
+stack routes through:
+
+* :mod:`~repro.reliability.policy` — one :class:`RetryPolicy` (bounded
+  exponential backoff, deterministic jitter) replacing ad-hoc retry
+  loops;
+* :mod:`~repro.reliability.atomic` — fsync-before-rename durable writes
+  (PL007 makes them mandatory under ``src/repro/campaign`` and
+  ``src/repro/service``);
+* :mod:`~repro.reliability.checkpoint` — sha256-sealed shard checkpoints
+  with quarantine-and-requeue instead of crash-on-corruption.
+
+See ``docs/reliability.md`` for the fault-site table, plan grammar and
+retry defaults.
+"""
+
+from .atomic import atomic_write_bytes, publish_exclusive
+from .checkpoint import (
+    CheckpointCorruptError,
+    checkpoint_ok,
+    load_checkpoint,
+    quarantine_checkpoint,
+    seal_checkpoint,
+    unseal_checkpoint,
+)
+from .faults import (
+    FAULT_MODES,
+    FAULT_PLAN_ENV,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    evaluate,
+    mangle,
+    maybe_error,
+    perturb,
+    set_fault_plan,
+)
+from .policy import RetryPolicy
+
+__all__ = [
+    "FAULT_MODES",
+    "FAULT_PLAN_ENV",
+    "FAULT_SITES",
+    "CheckpointCorruptError",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "active_plan",
+    "atomic_write_bytes",
+    "checkpoint_ok",
+    "evaluate",
+    "load_checkpoint",
+    "mangle",
+    "maybe_error",
+    "perturb",
+    "publish_exclusive",
+    "quarantine_checkpoint",
+    "seal_checkpoint",
+    "set_fault_plan",
+    "unseal_checkpoint",
+]

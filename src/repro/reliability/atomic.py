@@ -1,0 +1,105 @@
+"""Durable atomic file publication (fsync before rename).
+
+``os.replace`` alone is atomic against concurrent readers but not against
+power loss: without an fsync of the temp file the rename can land while
+the data blocks are still unwritten, leaving a torn file after a crash —
+exactly the failure the checkpoint quarantine path has to absorb.  These
+helpers do the full dance (write → flush → fsync → rename → directory
+fsync) and are the **only** sanctioned way to write files under
+``src/repro/campaign`` and ``src/repro/service`` (enforced by
+polaris-lint rule PL007).
+
+Both helpers accept an optional ``fault_site`` so the payload passes
+through :func:`repro.reliability.faults.mangle` on its way to disk —
+the deterministic stand-in for torn writes and silent corruption.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from . import faults
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (best effort; not all platforms allow
+    opening directories)."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        handle = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(handle)
+    except OSError:
+        pass
+    finally:
+        os.close(handle)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes, *,
+                       fault_site: Optional[str] = None) -> None:
+    """Durably publish ``data`` at ``path`` (write-fsync-rename).
+
+    Readers never observe a partial file; after return the content and
+    its directory entry have been fsynced, so the publication survives a
+    crash.  ``fault_site`` routes the payload through the active
+    :class:`~repro.reliability.faults.FaultPlan` first.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fault_site is not None:
+        data = faults.mangle(fault_site, data)
+    handle, temp_path = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except FileNotFoundError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def publish_exclusive(path: Union[str, Path], data: bytes, *,
+                      fault_site: Optional[str] = None) -> bool:
+    """Durably publish ``data`` at ``path`` iff no file exists (first
+    writer wins, via ``os.link``); return whether this call created it.
+
+    The content-addressed store's write discipline: concurrent writers of
+    the same key race harmlessly because the loser's link fails with
+    ``FileExistsError`` and the winner's bytes are already fsynced.
+    """
+    path = Path(path)
+    if path.exists():
+        return False
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fault_site is not None:
+        data = faults.mangle(fault_site, data)
+    handle, temp_path = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+            stream.flush()
+            os.fsync(stream.fileno())
+        try:
+            os.link(temp_path, path)
+        except FileExistsError:
+            return False
+    finally:
+        try:
+            os.unlink(temp_path)
+        except FileNotFoundError:
+            pass
+    _fsync_directory(path.parent)
+    return True

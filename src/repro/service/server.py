@@ -49,6 +49,7 @@ from ..campaign.runner import (
     campaign_store,
     load_spec,
     submit_campaign,
+    verified_checkpoint,
 )
 from ..campaign.serialize import (
     assessment_to_dict,
@@ -377,23 +378,28 @@ class AssessmentService:
         return campaign
 
     async def _absorb_disk_partials(self, campaign: _Campaign) -> None:
-        """Fold checkpoints that reached disk without being streamed."""
+        """Fold checkpoints that reached disk without being streamed.
+
+        Disk reads go through :func:`verified_checkpoint`: a corrupt
+        checkpoint (torn write, tampering) is quarantined and its shard
+        requeued on the shared queue instead of being folded or crashing
+        the monitor — the campaign heals by recomputation.
+        """
         if campaign.complete:
             return
         for shard_index in range(campaign.n_shards):
             if shard_index in campaign.partials:
                 continue
-            path = campaign.paths.shard_path(shard_index)
-            packed = await asyncio.to_thread(self._read_if_exists, path)
+            packed = await asyncio.to_thread(self._read_verified,
+                                             campaign, shard_index)
             if packed is not None:
                 await self._fold_partial(campaign, shard_index, packed)
 
-    @staticmethod
-    def _read_if_exists(path: Path) -> Optional[bytes]:
-        try:
-            return path.read_bytes()
-        except FileNotFoundError:
-            return None
+    def _read_verified(self, campaign: _Campaign,
+                       shard_index: int) -> Optional[bytes]:
+        found = verified_checkpoint(campaign.paths, shard_index,
+                                    queue=self.queue)
+        return None if found is None else found[0]
 
     async def _fold_partial(self, campaign: _Campaign, shard_index: int,
                             packed: bytes) -> None:
@@ -536,6 +542,31 @@ class AssessmentService:
                 message=f"shard {shard_index} of "
                         f"{campaign.spec.content_hash[:12]}… exhausted "
                         f"its retries"))
+        # Graceful degradation: once every shard is accounted for (folded
+        # or terminally failed) and at least one succeeded, a poisoned
+        # campaign completes with a *partial* CampaignComplete naming its
+        # failed_shards — watchers get an answer instead of an error loop
+        # that never ends.  The degraded assessment is not stored: a
+        # resubmission after the fault is fixed recomputes in full.
+        if status.failed_shards and campaign.partials and \
+                len(campaign.partials) + len(status.failed_shards) \
+                >= campaign.n_shards:
+            await self._finalise_partial(campaign, status.failed_shards)
+
+    async def _finalise_partial(self, campaign: _Campaign,
+                                failed_shards: Tuple[int, ...]) -> None:
+        async with campaign.fold_lock:
+            if campaign.complete or not campaign.partials:
+                return
+            assessment = await asyncio.to_thread(self._interim_fold,
+                                                 campaign)
+            assessment.failed_shards = tuple(sorted(failed_shards))
+            campaign.complete = True
+            campaign.final_frame = CampaignComplete(
+                tenant=campaign.tenant,
+                spec_hash=campaign.spec.content_hash,
+                assessment=assessment_to_dict(assessment))
+            self._broadcast(campaign, campaign.final_frame)
 
 
 async def _serve(root: Union[str, Path], host: str, port: int,

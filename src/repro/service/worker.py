@@ -27,8 +27,28 @@ from typing import Optional, Union
 
 from ..campaign.queue import TaskQueue, run_worker
 from ..campaign.runner import set_shard_partial_hook
+from ..reliability.policy import RetryPolicy
 from .client import ServiceClient, ServiceUnavailableError
 from .protocol import DEFAULT_TENANT, ShardPartial, WorkerHeartbeat
+
+#: Backoff for the observational streams (partials, heartbeats): a quick
+#: reconnect-and-resend ride-out for a bounced server, then give up —
+#: the disk checkpoint and queue row are the durable record either way.
+_STREAM_RETRY = RetryPolicy(max_attempts=3, base_delay=0.05,
+                            max_delay=0.5, jitter=0.25)
+
+
+def _send_with_reconnect(client: ServiceClient, message) -> None:
+    """Best-effort send: retry through a reconnect, swallow final failure."""
+    def recover(attempt: int, error: BaseException) -> None:
+        try:
+            client.reconnect()
+        except ServiceUnavailableError:
+            pass  # next attempt (if any) fails fast and we give up
+
+    _STREAM_RETRY.call(lambda: client.send(message),
+                       retry_on=ServiceUnavailableError,
+                       on_retry=recover, reraise=False)
 
 
 def tenant_of_root(root: Union[str, Path]) -> str:
@@ -67,14 +87,13 @@ class _HeartbeatThread:
 
     def _run(self) -> None:
         while True:
-            try:
-                self._client.send(WorkerHeartbeat(
-                    worker=self._worker,
-                    tenant=self.current_tenant,
-                    task_id=self.current_task_id,
-                    busy=self.current_task_id >= 0))
-            except ServiceUnavailableError:
-                pass  # observational: the queue is the source of truth
+            # Observational: reconnect-and-retry briefly, then drop the
+            # beat — the queue is the source of truth either way.
+            _send_with_reconnect(self._client, WorkerHeartbeat(
+                worker=self._worker,
+                tenant=self.current_tenant,
+                task_id=self.current_task_id,
+                busy=self.current_task_id >= 0))
             if self._stop.wait(self._interval):
                 return
 
@@ -107,7 +126,7 @@ def run_service_worker(root: Union[str, Path], host: str, port: int,
 
     def stream_partial(task_root: str, spec_hash: str, shard_index: int,
                        packed: bytes) -> None:
-        client.send(ShardPartial(
+        _send_with_reconnect(client, ShardPartial(
             tenant=tenant_of_root(task_root), spec_hash=spec_hash,
             shard_index=shard_index,
             payload_b64=base64.b64encode(packed).decode("ascii"),

@@ -208,6 +208,10 @@ class LeakageAssessment:
             higher order (keys 2, 3, ...; empty when ``tvla_order == 1``).
         n_shards: Number of shards the campaign was split into (1 for the
             serial driver).
+        failed_shards: Shard indices excluded from a *degraded* campaign
+            result (``collect_result(allow_partial=True)`` after those
+            shards exhausted their retries).  Empty for every complete
+            assessment; degraded results are never cached in the store.
     """
 
     design_name: str
@@ -222,6 +226,7 @@ class LeakageAssessment:
     tvla_order: int = 1
     order_t_values: Dict[int, np.ndarray] = field(default_factory=dict)
     n_shards: int = 1
+    failed_shards: Tuple[int, ...] = ()
 
     @cached_property
     def _name_index(self) -> Dict[str, int]:

@@ -42,9 +42,9 @@ def codes(result):
 # Engine basics
 # ----------------------------------------------------------------------
 class TestEngine:
-    def test_registry_has_all_six_rules(self):
+    def test_registry_has_all_seven_rules(self):
         assert set(RULES) == {"PL001", "PL002", "PL003", "PL004",
-                              "PL005", "PL006"}
+                              "PL005", "PL006", "PL007"}
         for rule_cls in RULES.values():
             assert rule_cls.title
             assert rule_cls.severity in (Severity.ERROR, Severity.WARNING)
@@ -807,6 +807,112 @@ class TestPL006FloatEquality:
 
 
 # ----------------------------------------------------------------------
+# PL007 — durable writes
+# ----------------------------------------------------------------------
+class TestPL007DurableWrites:
+    def test_bare_write_open_in_campaign_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/campaign/mod.py":
+             "def save(path, data):\n"
+             "    with open(path, 'wb') as handle:\n"
+             "        handle.write(data)\n"},
+            rule_ids=["PL007"])
+        assert codes(result) == ["PL007"]
+        assert "atomic_write_bytes" in result.findings[0].message
+
+    def test_write_text_in_service_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/service/mod.py":
+             "def save(path, text):\n"
+             "    path.write_text(text)\n"},
+            rule_ids=["PL007"])
+        assert codes(result) == ["PL007"]
+
+    def test_hand_rolled_atomic_publish_is_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/campaign/mod.py":
+             "import os\n"
+             "import tempfile\n"
+             "def publish(path, data):\n"
+             "    fd, temp = tempfile.mkstemp(dir='.')\n"
+             "    os.write(fd, data)\n"
+             "    os.close(fd)\n"
+             "    os.replace(temp, path)\n"},
+            rule_ids=["PL007"])
+        assert codes(result) == ["PL007", "PL007"]  # mkstemp + replace
+        assert "hand-rolled" in result.findings[0].message
+
+    def test_dynamic_mode_is_flagged(self, tmp_path):
+        # The rule cannot prove a computed mode read-only.
+        result = run_lint(
+            tmp_path,
+            {"src/repro/campaign/mod.py":
+             "def touch(path, mode):\n"
+             "    return open(path, mode)\n"},
+            rule_ids=["PL007"])
+        assert codes(result) == ["PL007"]
+
+    def test_read_mode_open_passes(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/campaign/mod.py":
+             "def load(path):\n"
+             "    with open(path) as handle:\n"
+             "        first = handle.read()\n"
+             "    with open(path, 'rb') as handle:\n"
+             "        return first, handle.read()\n"},
+            rule_ids=["PL007"])
+        assert result.clean
+
+    def test_helper_calls_pass(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/campaign/mod.py":
+             "from repro.reliability.atomic import atomic_write_bytes\n"
+             "from repro.reliability.atomic import publish_exclusive\n"
+             "def save(path, data):\n"
+             "    atomic_write_bytes(path, data)\n"
+             "    return publish_exclusive(path, data)\n"},
+            rule_ids=["PL007"])
+        assert result.clean
+
+    def test_outside_guarded_prefixes_is_untouched(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"tools/helper.py":
+             "def save(path, data):\n"
+             "    with open(path, 'wb') as handle:\n"
+             "        handle.write(data)\n",
+             "src/repro/reliability/atomic.py":
+             "import os\n"
+             "def atomic_write_bytes(path, data):\n"
+             "    os.replace('tmp', path)\n"},
+            rule_ids=["PL007"])
+        assert result.clean
+
+    def test_justified_suppression_is_honoured(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"src/repro/campaign/mod.py":
+             "def trace(path, line):\n"
+             "    # polaris-lint: disable=PL007 append-only debug log\n"
+             "    with open(path, 'a') as handle:\n"
+             "        handle.write(line)\n"},
+            rule_ids=["PL007"])
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_real_repo_campaign_and_service_are_clean(self):
+        result = lint_paths(REPO_ROOT, ["src/repro/campaign",
+                                        "src/repro/service"],
+                            rule_ids=["PL007"])
+        assert result.clean, [f.render() for f in result.findings]
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 class TestCli:
@@ -814,7 +920,7 @@ class TestCli:
         assert cli_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("PL001", "PL002", "PL003", "PL004", "PL005",
-                        "PL006"):
+                        "PL006", "PL007"):
             assert rule_id in out
 
     def test_unknown_rule_id_exits_2(self, capsys):

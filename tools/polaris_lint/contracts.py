@@ -127,3 +127,20 @@ RESOURCE_CONSTRUCTORS: Tuple[str, ...] = (
     "asyncio.create_task",
     "socket.create_connection",
 )
+
+#: Paths (relative, posix) under which PL007's durable-write discipline
+#: applies: every file write must go through the fsync-before-rename
+#: helpers in ``repro.reliability.atomic`` (PR 10 — a torn write here is
+#: a corrupt checkpoint or store object after a crash).  The reliability
+#: package itself hosts the helpers and is deliberately outside the
+#: guarded surface.
+ATOMIC_WRITE_PREFIXES: Tuple[str, ...] = (
+    "src/repro/campaign/",
+    "src/repro/service/",
+)
+
+#: The sanctioned write helpers (named in PL007 findings).
+ATOMIC_WRITE_HELPERS: Tuple[str, ...] = (
+    "repro.reliability.atomic.atomic_write_bytes",
+    "repro.reliability.atomic.publish_exclusive",
+)

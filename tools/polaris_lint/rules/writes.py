@@ -1,0 +1,121 @@
+"""PL007 — durable writes.
+
+Files under :data:`~tools.polaris_lint.contracts.ATOMIC_WRITE_PREFIXES`
+(the campaign and service layers) persist checkpoints, specs, store
+objects and queue side-files that other processes — and crash recovery —
+read back.  A bare ``open(..., "w")`` there can tear: a worker killed
+mid-write leaves a half-file that a later reader treats as real state.
+PR 10 centralised the safe pattern (temp file in the target directory,
+``fsync``, ``os.replace``/``os.link``, directory ``fsync``) in
+``repro.reliability.atomic``; this rule keeps new writes from bypassing
+it.
+
+Flagged inside the guarded prefixes:
+
+* ``open``/``io.open``/``os.fdopen`` with a writing mode (``w``, ``a``,
+  ``x`` or ``+``; a *non-constant* mode is flagged too — the rule cannot
+  prove it read-only);
+* ``Path.write_bytes`` / ``Path.write_text`` convenience writes;
+* hand-rolled atomic publishes (``tempfile.mkstemp``,
+  ``tempfile.NamedTemporaryFile``, ``os.replace``, ``os.rename``,
+  ``os.link``) — the helpers already do this correctly, including the
+  directory fsync that ad-hoc versions forget.
+
+Read-mode ``open`` calls and everything outside the prefixes are
+untouched.  Deliberate exceptions carry a justified suppression, same
+contract as PL001-PL006.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..contracts import ATOMIC_WRITE_HELPERS, ATOMIC_WRITE_PREFIXES
+from ..core import FileRule, Finding, Severity, SourceFile, register
+
+#: Callables that open a file handle whose mode argument decides intent.
+_OPENERS = frozenset({"open", "io.open", "os.fdopen"})
+
+#: Callables that reimplement what the atomic helpers already provide.
+_ATOMIC_PIECES = frozenset({
+    "tempfile.mkstemp",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryFile",
+    "os.replace",
+    "os.rename",
+    "os.link",
+})
+
+#: Path convenience methods that write in place (no temp, no fsync).
+_WRITE_METHODS = frozenset({"write_bytes", "write_text"})
+
+
+def _helper_names() -> str:
+    short = " / ".join(helper.rsplit(".", 1)[-1]
+                       for helper in ATOMIC_WRITE_HELPERS)
+    module = ATOMIC_WRITE_HELPERS[0].rsplit(".", 1)[0]
+    return f"{short} ({module})"
+
+
+@register
+class DurableWriteRule(FileRule):
+    """Campaign/service file writes go through the atomic helpers."""
+
+    rule_id = "PL007"
+    severity = Severity.ERROR
+    title = "durable writes: use the shared atomic-write helpers"
+
+    def run(self, file: SourceFile) -> List[Finding]:
+        if not file.rel_path.startswith(tuple(ATOMIC_WRITE_PREFIXES)):
+            return []
+        return super().run(file)
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.file.resolve_dotted(node.func)
+        if dotted in _OPENERS:
+            verdict = self._open_mode_verdict(node)
+            if verdict is not None:
+                self.report(self.file, node,
+                            f"{dotted}({verdict}) writes in place and can "
+                            f"tear on crash: route the write through "
+                            f"{_helper_names()}")
+        elif dotted is not None and self._is_atomic_piece(dotted):
+            self.report(self.file, node,
+                        f"{dotted} is a hand-rolled atomic publish: use "
+                        f"{_helper_names()}, which already does the "
+                        f"temp-file/fsync/replace dance (directory fsync "
+                        f"included)")
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _WRITE_METHODS:
+            self.report(self.file, node,
+                        f".{node.func.attr}() writes in place and can tear "
+                        f"on crash: route the write through "
+                        f"{_helper_names()}")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_atomic_piece(dotted: str) -> bool:
+        return any(dotted == known or dotted.endswith("." + known)
+                   for known in _ATOMIC_PIECES)
+
+    def _open_mode_verdict(self, node: ast.Call) -> Optional[str]:
+        """A description of the writing mode, or None when provably read."""
+        mode: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return None  # default "r": read-only
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            if any(flag in mode.value for flag in "wax+"):
+                return f"mode={mode.value!r}"
+            return None
+        return "mode=<dynamic>"  # cannot prove it read-only
+
+
+__all__ = ["DurableWriteRule"]
